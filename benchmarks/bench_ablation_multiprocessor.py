@@ -1,0 +1,50 @@
+"""Ablation: multiprocessor scaling of the N-Server design.
+
+One of the paper's stated contributions is "performance that scales
+well with multiple processors" — the Event Processor extension exists
+precisely because a plain Reactor "does not scale up very well, because
+all events are processed by one thread".
+
+We sweep CPU count (processor pool sized to match) under a CPU-heavy
+workload and assert near-linear scaling from 1 to 4 CPUs, plus the
+single-thread-Reactor comparison (1 processor thread on a 4-CPU host
+wastes the extra processors).
+"""
+
+from repro.analysis import render_table
+from repro.sim.testbed import TestbedConfig, run_testbed
+
+
+def run_scaling():
+    results = {}
+    for cpus in (1, 2, 4, 8):
+        cfg = TestbedConfig(server="cops", clients=384, duration=25.0,
+                            warmup=6.0, cpus=cpus, processor_threads=cpus,
+                            cpu_per_request=0.010,   # CPU-bound regime
+                            bandwidth_bps=400e6,     # network out of the way
+                            wan_delay=0.05)
+        results[cpus] = run_testbed(cfg)
+    # Plain-Reactor configuration: one processor thread on 4 CPUs.
+    cfg = TestbedConfig(server="cops", clients=384, duration=25.0,
+                        warmup=6.0, cpus=4, processor_threads=1,
+                        cpu_per_request=0.010, bandwidth_bps=400e6,
+                        wan_delay=0.05)
+    results["reactor-1thread"] = run_testbed(cfg)
+    return results
+
+
+def test_multiprocessor_scaling(benchmark):
+    results = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+
+    t1, t2, t4 = (results[n].throughput for n in (1, 2, 4))
+    assert t2 > 1.6 * t1
+    assert t4 > 2.7 * t1
+    # A single processor thread cannot use 4 CPUs: the pool is the point.
+    assert results["reactor-1thread"].throughput < 0.5 * t4
+
+    rows = [[str(k), f"{r.throughput:.1f}", f"{r.cpu_utilization:.2f}"]
+            for k, r in results.items()]
+    print()
+    print(render_table(["cpus (=pool threads)", "thr/s", "cpu util"], rows,
+                       title="ABLATION — MULTIPROCESSOR SCALING "
+                             "(CPU-bound, 384 clients)"))

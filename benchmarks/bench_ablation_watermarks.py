@@ -1,0 +1,50 @@
+"""Ablation: overload-control watermark sensitivity.
+
+The paper fixes high/low = 20/5 for Fig 6.  This bench sweeps the high
+watermark and shows the trade: a lower watermark bounds response time
+more tightly (fewer events queued ahead of you) at the same throughput,
+until it becomes so tight that admission stalls starve the processors.
+"""
+
+from repro.analysis import render_table
+from repro.sim.testbed import TestbedConfig, run_testbed
+
+WATERMARKS = ((10, 3), (20, 5), (40, 10), (80, 20))
+
+
+def run_sweep():
+    results = {}
+    for high, low in WATERMARKS:
+        cfg = TestbedConfig(server="cops", clients=128, duration=25.0,
+                            warmup=6.0, decode_extra_cpu=0.05,
+                            overload=True, overload_high=high,
+                            overload_low=low)
+        results[(high, low)] = run_testbed(cfg)
+    cfg = TestbedConfig(server="cops", clients=128, duration=25.0,
+                        warmup=6.0, decode_extra_cpu=0.05, overload=False)
+    results["off"] = run_testbed(cfg)
+    return results
+
+
+def test_watermark_sensitivity(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    off = results["off"]
+    # Tighter watermarks -> lower response times, monotonically.
+    resp = [results[w].response_mean for w in WATERMARKS]
+    assert resp == sorted(resp)
+    # All controlled configs beat no-control on response time...
+    for w in WATERMARKS:
+        assert results[w].response_mean < off.response_mean
+        # ... without losing meaningful throughput.
+        assert results[w].throughput > 0.85 * off.throughput
+
+    rows = [[f"{w[0]}/{w[1]}" if w != "off" else "off",
+             f"{r.throughput:.1f}",
+             f"{r.response_mean*1000:.0f}",
+             f"{r.combined_mean*1000:.0f}"]
+            for w, r in results.items()]
+    print()
+    print(render_table(
+        ["watermark hi/lo", "thr/s", "resp ms", "combined ms"], rows,
+        title="ABLATION — OVERLOAD WATERMARKS (128 clients, 50 ms decode)"))

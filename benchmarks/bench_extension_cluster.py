@@ -1,0 +1,56 @@
+"""Extension bench: the distributed N-Server (the paper's future work).
+
+"The most interesting extension of this work is to support the
+generation of distributed N-servers that will serve from a network of
+workstations."  The cluster model load-balances connections across
+independent event-driven nodes; this bench measures throughput scaling
+with the node count under a CPU-bound workload (wide network so the
+servers, not the wire, are the limit), and compares the two balancing
+policies.
+"""
+
+from repro.analysis import render_table
+from repro.sim.testbed import TestbedConfig, run_testbed
+
+
+def run_cluster_scaling():
+    results = {}
+    common = dict(clients=512, duration=25.0, warmup=6.0,
+                  cpu_per_request=0.010, bandwidth_bps=1e9,
+                  wan_delay=0.05)
+    for nodes in (1, 2, 4):
+        cfg = TestbedConfig(server="cluster", cluster_nodes=nodes, **common)
+        results[f"{nodes} node(s), round-robin"] = run_testbed(cfg)
+    cfg = TestbedConfig(server="cluster", cluster_nodes=4,
+                        cluster_policy="least-connections", **common)
+    results["4 node(s), least-conn"] = run_testbed(cfg)
+    # Single big SMP box of the same total CPU count, for comparison.
+    cfg = TestbedConfig(server="cops", cpus=16, processor_threads=16,
+                        **common)
+    results["1 x 16-cpu SMP"] = run_testbed(cfg)
+    return results
+
+
+def test_cluster_scaling(benchmark):
+    results = benchmark.pedantic(run_cluster_scaling, rounds=1, iterations=1)
+
+    t1 = results["1 node(s), round-robin"].throughput
+    t2 = results["2 node(s), round-robin"].throughput
+    t4 = results["4 node(s), round-robin"].throughput
+    assert t2 > 1.6 * t1
+    assert t4 > 2.6 * t1
+    # Both balancing policies stay fair and comparable.
+    lc = results["4 node(s), least-conn"]
+    assert lc.throughput > 0.9 * t4
+    assert lc.fairness > 0.95
+    for r in results.values():
+        assert r.fairness > 0.9
+
+    rows = [[name, f"{r.throughput:.1f}", f"{r.fairness:.3f}",
+             f"{r.response_mean*1000:.0f}"]
+            for name, r in results.items()]
+    print()
+    print(render_table(
+        ["deployment", "thr/s", "fairness", "resp ms"], rows,
+        title="EXTENSION — DISTRIBUTED N-SERVER SCALING "
+              "(CPU-bound, 512 clients)"))

@@ -1,0 +1,42 @@
+"""Fig 3 bench: COPS-HTTP vs Apache throughput across 1..1024 clients.
+
+Shape assertions (who wins where, per the paper):
+
+* light load (<= 8 clients): Apache at least matches COPS-HTTP;
+* 64..512 clients: COPS-HTTP ahead;
+* both saturate beyond 256 (plateau: the bottleneck resource binds);
+* 1024 clients: Apache slightly ahead again (at the expense of
+  fairness — asserted in the Fig 4 bench).
+"""
+
+from repro.experiments import format_fig3
+
+
+def _by_clients(points):
+    return {p.clients: p for p in points}
+
+
+def test_fig3_throughput(benchmark, capacity_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # sweep cached
+    apache = _by_clients(capacity_sweep["apache"])
+    cops = _by_clients(capacity_sweep["cops"])
+
+    # Region A: light load, Apache slightly better (or equal).
+    for n in (1, 2, 4, 8):
+        assert apache[n].throughput >= cops[n].throughput * 0.97, n
+
+    # Region B: heavier load, COPS-HTTP clearly ahead.
+    for n in (64, 128, 256, 512):
+        assert cops[n].throughput > apache[n].throughput * 1.05, n
+
+    # Region C: saturation — Apache's plateau is flat from 256 to 1024.
+    assert apache[1024].throughput < apache[256].throughput * 1.1
+    assert apache[1024].throughput > apache[256].throughput * 0.9
+    # COPS saturates too (512 within 10% of 256).
+    assert cops[512].throughput > cops[256].throughput * 0.9
+
+    # At 1024 Apache comes out slightly ahead (the fairness trade).
+    assert apache[1024].throughput > cops[1024].throughput
+
+    print()
+    print(format_fig3(capacity_sweep))

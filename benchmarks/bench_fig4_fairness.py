@@ -1,0 +1,41 @@
+"""Fig 4 bench: service fairness (Jain index of per-client response
+counts) across 1..1024 clients.
+
+Shape assertions (per the paper): "Under heavy loads, the fairness index
+of COPS-HTTP remains high, while Apache's fairness index drops
+significantly.  With 1024 Web clients, the fairness index of Apache is a
+mere 0.51."
+"""
+
+from repro.experiments import format_fig4
+
+
+def _by_clients(points):
+    return {p.clients: p for p in points}
+
+
+def test_fig4_fairness(benchmark, capacity_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # sweep cached
+    apache = _by_clients(capacity_sweep["apache"])
+    cops = _by_clients(capacity_sweep["cops"])
+
+    # Both fair while everyone fits.
+    for n in (1, 16, 128):
+        assert apache[n].fairness > 0.95, n
+        assert cops[n].fairness > 0.95, n
+
+    # COPS-HTTP stays fair under extreme load.
+    assert cops[512].fairness > 0.9
+    assert cops[1024].fairness > 0.9
+
+    # Apache collapses once clients outnumber its 150 workers + backlog:
+    assert apache[512].fairness < 0.9
+    assert 0.25 < apache[1024].fairness < 0.65   # paper: 0.51
+    assert apache[1024].fairness < apache[512].fairness
+
+    # The collapse coincides with SYN drops (the TCP backoff mechanism).
+    assert apache[1024].syn_drops > 0
+    assert cops[1024].syn_drops == 0
+
+    print()
+    print(format_fig4(capacity_sweep))

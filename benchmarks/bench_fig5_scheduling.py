@@ -1,0 +1,38 @@
+"""Fig 5 bench: differentiated service levels via event scheduling.
+
+Shape assertions (per the paper): "There is a small gap between the
+ratio of priority levels and the actual throughput ratio of requests for
+the two types of Web contents.  However, such a gap is quite
+acceptable."  We assert the measured ratio tracks each configured quota
+ratio within that gap, and that the portal-only column is the maximum.
+"""
+
+import pytest
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def test_fig5_differentiated_service(benchmark):
+    points, portal_only = benchmark.pedantic(
+        run_fig5, rounds=1, iterations=1)
+
+    for p in points:
+        configured = p.configured_ratio
+        if configured == 1.0:
+            assert p.measured_ratio == pytest.approx(1.0, abs=0.2)
+        else:
+            # Tracks the quota with the paper's "small gap" (served ratio
+            # never exceeds the configured one; lower because the server
+            # does not schedule OS resources).
+            assert p.measured_ratio > 0.55 * configured
+            assert p.measured_ratio <= configured * 1.15
+
+    # Monotone: more portal quota -> more portal throughput.
+    portals = [p.portal_throughput for p in points]
+    assert portals == sorted(portals)
+
+    # Rightmost column: portal-only is the ceiling.
+    assert portal_only >= max(portals) * 0.95
+
+    print()
+    print(format_fig5(points, portal_only))

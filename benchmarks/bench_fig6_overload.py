@@ -1,0 +1,49 @@
+"""Fig 6 bench: response time with and without automatic overload
+control (watermarks 20/5 on the reactive Event Processor queue, 50 ms
+CPU-intensive decode).
+
+Shape assertions (per the paper): "COPS-HTTP with the automatic overload
+control capability has a significantly lower average response time.
+Notably, this is achieved without degrading the server throughput."
+"""
+
+import pytest
+
+from repro.experiments import format_fig6, run_fig6
+
+
+def test_fig6_overload_control(benchmark):
+    points = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    by_key = {(p.clients, p.overload_control): p for p in points}
+    counts = sorted({p.clients for p in points})
+
+    # Light load: control changes nothing.
+    light = counts[0]
+    assert by_key[(light, True)].response_mean == pytest.approx(
+        by_key[(light, False)].response_mean, rel=0.15)
+
+    # Overloaded: response time of established connections is
+    # significantly lower with control...
+    heavy = counts[-1]
+    assert (by_key[(heavy, True)].response_mean
+            < 0.5 * by_key[(heavy, False)].response_mean)
+
+    # ... while throughput is not degraded ...
+    assert (by_key[(heavy, True)].throughput
+            > 0.9 * by_key[(heavy, False)].throughput)
+
+    # ... and without control the response time keeps growing with load,
+    # while with control it plateaus near the watermark-bounded level.
+    mid = counts[-2]
+    assert (by_key[(heavy, False)].response_mean
+            > 1.5 * by_key[(mid, False)].response_mean)
+    assert (by_key[(heavy, True)].response_mean
+            < 1.5 * by_key[(mid, True)].response_mean)
+
+    # Combined time (incl. connection establishment) stays comparable:
+    # postponed clients wait outside instead of inside.
+    assert by_key[(heavy, True)].combined_mean == pytest.approx(
+        by_key[(heavy, False)].combined_mean, rel=0.35)
+
+    print()
+    print(format_fig6(points))

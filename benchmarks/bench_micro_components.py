@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the core data structures.
+
+Not a paper figure — performance tracking for the building blocks every
+experiment leans on: cache lookups, quota-queue operations, HTTP
+parsing, codegen, and the DES kernel's event rate.
+"""
+
+from repro.cache import Cache, make_policy
+from repro.co2p3s.nserver import COPS_HTTP_OPTIONS, NSERVER
+from repro.http import parse_request, split_request
+from repro.runtime import QuotaPriorityQueue
+from repro.sim import Simulator
+from repro.workload import SpecWebFileSet
+
+
+def test_cache_get_put_rate(benchmark):
+    fileset = SpecWebFileSet(50, seed=5)
+    accesses = [fileset.sample() for _ in range(5000)]
+    cache = Cache(capacity=8 * 1024 * 1024, policy=make_policy("LRU"))
+
+    def run():
+        for path, size in accesses:
+            if cache.get(path) is None:
+                cache.put(path, size)
+
+    benchmark(run)
+    assert cache.stats.lookups > 0
+
+
+def test_quota_queue_throughput(benchmark):
+    queue = QuotaPriorityQueue({0: 1, 1: 4})
+
+    def run():
+        for i in range(2000):
+            queue.push(i, priority=i & 1)
+        for _ in range(2000):
+            queue.try_pop()
+
+    benchmark(run)
+    assert len(queue) == 0
+
+
+def test_http_parse_rate(benchmark):
+    wire = (b"GET /dir/page.html?q=1 HTTP/1.1\r\n"
+            b"Host: example.test\r\n"
+            b"Accept: text/html\r\n"
+            b"User-Agent: bench\r\n\r\n")
+
+    def run():
+        for _ in range(1000):
+            framed, _ = split_request(wire)
+            parse_request(framed)
+
+    benchmark(run)
+
+
+def test_nserver_codegen_rate(benchmark):
+    opts = NSERVER.configure(COPS_HTTP_OPTIONS)
+    report = benchmark(lambda: NSERVER.render(opts, package="bench"))
+    assert report.files
+
+
+def test_des_kernel_event_rate(benchmark):
+    def run():
+        sim = Simulator()
+
+        def ping_pong(n):
+            for _ in range(n):
+                yield sim.timeout(0.001)
+
+        for _ in range(20):
+            sim.process(ping_pong(500))
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 10_000

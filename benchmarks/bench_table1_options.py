@@ -1,0 +1,16 @@
+"""Table 1 bench: regenerate the N-Server option table and validate the
+two application configurations by generating both frameworks."""
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_options(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    assert len(rows) == 12
+    # Spot-check the paper's cells.
+    by_key = {r[0].split(":")[0]: r for r in rows}
+    assert by_key["O4"][2] == "Synchronous" and by_key["O4"][3] == "Asynchronous"
+    assert by_key["O6"][2] == "No" and by_key["O6"][3] == "Yes: LRU"
+    assert by_key["O5"][2] == "Dynamic" and by_key["O5"][3] == "Static"
+    print()
+    print(format_table1(rows))

@@ -1,0 +1,19 @@
+"""Shared benchmark fixtures.
+
+The Fig 3 and Fig 4 benches share one capacity sweep (in the paper both
+figures come from the same experiment), cached at session scope so the
+expensive sweep runs once.
+"""
+
+import pytest
+
+from repro.experiments import run_capacity_sweep
+
+#: the paper's client axis (log scale, 1..1024)
+CLIENT_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@pytest.fixture(scope="session")
+def capacity_sweep():
+    return run_capacity_sweep(client_counts=CLIENT_COUNTS,
+                              duration=40.0, warmup=10.0)

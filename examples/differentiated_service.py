@@ -1,0 +1,27 @@
+"""Differentiated service levels (the Fig 5 scenario) in miniature.
+
+An ISP hosts a corporate portal and personal homepages on one COPS-HTTP
+server.  Event scheduling (template option O8) gives portal traffic a
+larger quota in the reactive event queue; the measured throughput ratio
+tracks the configured quota ratio.
+
+Run:  python examples/differentiated_service.py   (~20 s, simulated)
+"""
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def main() -> None:
+    print("running the differentiated-service experiment "
+          "(simulated dual-CPU host, caching disabled)...\n")
+    points, portal_only = run_fig5(ratios=((1, 1), (1, 2), (1, 4)),
+                                   clients=176, duration=15.0, warmup=4.0)
+    print(format_fig5(points, portal_only))
+    print("\nReading the table: with quota 1/4 the portal receives ~4x the"
+          "\nhomepage throughput — the scheduling policy cost 13 lines of"
+          "\napplication code in the paper, and one hook override here"
+          "\n(see repro.servers.cops_http.PriorityByPeerHooks).")
+
+
+if __name__ == "__main__":
+    main()

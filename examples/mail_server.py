@@ -1,0 +1,46 @@
+"""COPS-Mail: the mail server the paper names as another N-Server use,
+driven by the standard library's smtplib.
+
+Run:  python examples/mail_server.py
+"""
+
+import smtplib
+import time
+
+from repro.servers import build_mail_server
+
+
+def main() -> None:
+    server, store, fw = build_mail_server()
+    server.start()
+    print(f"COPS-Mail listening on 127.0.0.1:{server.port}\n")
+    try:
+        client = smtplib.SMTP("127.0.0.1", server.port, timeout=5)
+        code, caps = client.ehlo("example-client")
+        print(f"EHLO -> {code}\n{caps.decode()}")
+        client.sendmail(
+            "alice@example.org",
+            ["bob@example.net", "carol@example.net"],
+            "Subject: generative patterns\r\n\r\n"
+            "The framework handling this message was generated\r\n"
+            "from the N-Server template.\r\n",
+        )
+        client.quit()
+        time.sleep(0.2)
+
+        for rcpt in ("bob@example.net", "carol@example.net"):
+            msgs = store.messages_for(rcpt)
+            print(f"\nmailbox {rcpt}: {len(msgs)} message(s)")
+            print(f"  from: {msgs[0].sender}")
+            print(f"  body: {msgs[0].body.decode().splitlines()[-1]}")
+
+        print("\nserver log (option O12):")
+        for line in server.reactor.log.lines[:4]:
+            print(" ", line)
+    finally:
+        server.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Automatic overload control (the Fig 6 scenario) in miniature.
+
+The decode step burns 50 ms per request, making the CPU the bottleneck.
+With option O9, the generated acceptor postpones new connections while
+the reactive Event Processor queue is over its high watermark (20),
+resuming below the low watermark (5) — so established connections keep
+a low response time without losing throughput.
+
+Run:  python examples/overload_control.py   (~20 s, simulated)
+"""
+
+from repro.experiments import format_fig6, run_fig6
+
+
+def main() -> None:
+    print("running the overload-control experiment "
+          "(50 ms decode, watermarks 20/5)...\n")
+    points = run_fig6(client_counts=(4, 32, 96), duration=15.0, warmup=4.0)
+    print(format_fig6(points))
+    print("\nReading the table: without control, the response time of"
+          "\nestablished connections grows with the client count; with"
+          "\ncontrol it plateaus — at unchanged throughput.  The combined"
+          "\ntime (including connection establishment) is similar either"
+          "\nway: postponed clients wait outside instead of inside.")
+
+
+if __name__ == "__main__":
+    main()

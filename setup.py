@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 517 editable installs fail.  This shim lets ``pip install -e .``
+fall back to ``setup.py develop`` (pip picks it automatically with
+``--no-use-pep517``; a plain ``pip install -e .`` also works on
+environments with the wheel package installed).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,26 @@
+"""Reproduction of *Using Generative Design Patterns to Develop Network
+Server Applications* (Guo, Schaeffer, Szafron, Earl — IPPS 2005).
+
+The package is organised around the paper's three layers:
+
+``repro.co2p3s``
+    The generative design-pattern engine and the N-Server pattern
+    template.  ``generate_nserver(options, dest)`` emits a custom
+    event-driven server framework as plain Python source.
+
+``repro.runtime``, ``repro.cache``, ``repro.http``, ``repro.ftp``
+    The library substrate the generated frameworks import: Reactor /
+    Proactor machinery, file caching, protocol libraries.
+
+``repro.sim``, ``repro.workload``, ``repro.analysis``
+    The evaluation testbed: a discrete-event simulator standing in for
+    the paper's Sun/Ethernet hardware, SpecWeb99-like workloads, and the
+    metrics (throughput, Jain fairness, response time) the paper reports.
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md``
+for paper-vs-measured results for every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

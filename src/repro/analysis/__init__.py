@@ -1,0 +1,9 @@
+"""Result analysis: Jain fairness (Fig 4), summary statistics and table
+rendering for the benchmark harness."""
+
+from repro.analysis.fairness import jain_index
+from repro.analysis.report import render_series, render_table
+from repro.analysis.stats import Summary, summarize
+
+__all__ = ["Summary", "jain_index", "render_series", "render_table",
+           "summarize"]

@@ -1,0 +1,31 @@
+"""Service fairness: the Jain fairness index (Fig 4).
+
+The paper uses Jain, Chiu & Hawe's index over per-client response
+counts:
+
+    f(x) = (sum x_i)^2 / (N * sum x_i^2)
+
+1.0 when all clients receive equal service; k/N when k clients receive
+equal service and the rest none.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["jain_index"]
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain fairness index of ``values`` (non-negative allocations)."""
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0:
+        return 1.0
+    if np.any(x < 0):
+        raise ValueError("allocations must be non-negative")
+    denom = x.size * float(np.sum(x * x))
+    if denom == 0.0:
+        return 1.0  # everyone equally got nothing
+    return float(np.sum(x)) ** 2 / denom

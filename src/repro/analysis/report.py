@@ -1,0 +1,44 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table with a header rule."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    head = "  ".join(f"{h:<{w}}" for h, w in zip(headers, widths))
+    lines.append(head)
+    lines.append("-" * len(head))
+    for row in rows:
+        lines.append("  ".join(f"{c:<{w}}" for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(x_label: str, xs: Sequence, series: dict,
+                  title: str = "", fmt: str = "{:.1f}") -> str:
+    """A figure as text: one column per named series."""
+    headers = [x_label] + list(series)
+    rows: List[List[str]] = []
+    for i, x in enumerate(xs):
+        row = [str(x)]
+        for name in series:
+            value = series[name][i]
+            row.append(fmt.format(value) if value is not None else "-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,41 @@
+"""Summary statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass
+class Summary:
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (f"n={self.count} mean={self.mean:.4f} med={self.median:.4f} "
+                f"p90={self.p90:.4f} p99={self.p99:.4f}")
+
+
+def summarize(values: Iterable[float]) -> Optional[Summary]:
+    """Summary of ``values``; None when empty."""
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0:
+        return None
+    return Summary(
+        count=int(x.size),
+        mean=float(np.mean(x)),
+        median=float(np.median(x)),
+        p90=float(np.percentile(x, 90)),
+        p99=float(np.percentile(x, 99)),
+        minimum=float(np.min(x)),
+        maximum=float(np.max(x)),
+    )

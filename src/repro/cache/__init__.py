@@ -1,0 +1,38 @@
+"""File caching subsystem (N-Server option O6).
+
+Provides the byte-budgeted :class:`Cache` with the paper's five
+replacement policies (LRU, LFU, LRU-MIN, LRU-Threshold, Hyper-G) plus
+the custom-policy hook, and the read-through :class:`FileCache` used by
+generated servers.
+"""
+
+from repro.cache.base import Cache, CacheEntry, CacheStats, ReplacementPolicy
+from repro.cache.file_cache import CachedFile, FileCache, FileNotCacheable
+from repro.cache.policies import (
+    POLICIES,
+    CustomPolicy,
+    HyperGPolicy,
+    LFUPolicy,
+    LRUMinPolicy,
+    LRUPolicy,
+    LRUThresholdPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "Cache",
+    "CacheEntry",
+    "CacheStats",
+    "CachedFile",
+    "CustomPolicy",
+    "FileCache",
+    "FileNotCacheable",
+    "HyperGPolicy",
+    "LFUPolicy",
+    "LRUMinPolicy",
+    "LRUPolicy",
+    "LRUThresholdPolicy",
+    "POLICIES",
+    "ReplacementPolicy",
+    "make_policy",
+]

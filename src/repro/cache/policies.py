@@ -1,0 +1,164 @@
+"""The five replacement policies of the N-Server's O6 option, plus the
+custom-policy hook.
+
+References (as cited by the paper):
+
+* LRU-MIN and LRU-Threshold — Abrams, Standridge, Abdulla, Williams, Fox,
+  *Caching Proxies: Limitation and Potentials* (Virginia Tech TR-95-12).
+* Hyper-G — Williams et al., *Removal Policies in Network Caches for
+  World Wide Web Documents* (SIGCOMM CCR 26(4), 1996): evict by lowest
+  frequency, break ties by least recent use, then by largest size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.cache.base import Cache, CacheEntry, ReplacementPolicy
+
+__all__ = [
+    "LRUPolicy",
+    "LFUPolicy",
+    "LRUMinPolicy",
+    "LRUThresholdPolicy",
+    "HyperGPolicy",
+    "CustomPolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently used entry first."""
+
+    name = "LRU"
+
+    def select_victims(self, cache: Cache, needed: int) -> Iterator[Any]:
+        for entry in sorted(cache.entries(), key=lambda e: e.last_access):
+            yield entry.key
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Evict the least frequently used entry first; ties broken by LRU."""
+
+    name = "LFU"
+
+    def select_victims(self, cache: Cache, needed: int) -> Iterator[Any]:
+        for entry in sorted(cache.entries(),
+                            key=lambda e: (e.frequency, e.last_access)):
+            yield entry.key
+
+
+class LRUMinPolicy(ReplacementPolicy):
+    """LRU-MIN: prefer evicting documents at least as large as the space
+    being requested, falling back to successively halved size classes.
+
+    The intent (Abrams et al.) is to minimise the *number* of documents
+    evicted: evicting one big file beats evicting many small ones.
+    """
+
+    name = "LRU-MIN"
+
+    def select_victims(self, cache: Cache, needed: int) -> Iterator[Any]:
+        remaining = needed
+        threshold = max(needed, 1)
+        yielded: set = set()
+        while remaining > 0 and len(yielded) < len(cache):
+            bucket = [e for e in cache.entries()
+                      if e.size >= threshold and e.key not in yielded]
+            bucket.sort(key=lambda e: e.last_access)
+            for entry in bucket:
+                yielded.add(entry.key)
+                remaining -= entry.size
+                yield entry.key
+                if remaining <= 0:
+                    return
+            if threshold <= 1:
+                break
+            threshold //= 2
+        # Final fallback: plain LRU over anything left.
+        for entry in sorted(cache.entries(), key=lambda e: e.last_access):
+            if entry.key not in yielded:
+                yield entry.key
+
+
+class LRUThresholdPolicy(ReplacementPolicy):
+    """LRU with an admission threshold: documents larger than
+    ``threshold`` bytes are never cached (they would push out too many
+    small popular documents)."""
+
+    name = "LRU-Threshold"
+
+    def __init__(self, threshold: int):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = int(threshold)
+
+    def admits(self, entry: CacheEntry, cache: Cache) -> bool:
+        return entry.size <= self.threshold and super().admits(entry, cache)
+
+    def select_victims(self, cache: Cache, needed: int) -> Iterator[Any]:
+        for entry in sorted(cache.entries(), key=lambda e: e.last_access):
+            yield entry.key
+
+
+class HyperGPolicy(ReplacementPolicy):
+    """Hyper-G: evict lowest frequency first, then least recently used,
+    then largest — a refinement of LFU from the Hyper-G server."""
+
+    name = "Hyper-G"
+
+    def select_victims(self, cache: Cache, needed: int) -> Iterator[Any]:
+        for entry in sorted(cache.entries(),
+                            key=lambda e: (e.frequency, e.last_access, -e.size)):
+            yield entry.key
+
+
+class CustomPolicy(ReplacementPolicy):
+    """The paper's hook mechanism: "a programmer can implement a different
+    cache replacement policy by simply adding code to a hook method".
+
+    ``victim_hook(entries, needed)`` receives a list of live
+    :class:`CacheEntry` objects and must return an iterable of keys to
+    evict, in order.  ``admit_hook`` may veto caching an entry.
+    """
+
+    name = "Custom"
+
+    def __init__(
+        self,
+        victim_hook: Callable[[list, int], Iterable[Any]],
+        admit_hook: Callable[[CacheEntry], bool] | None = None,
+    ):
+        self.victim_hook = victim_hook
+        self.admit_hook = admit_hook
+
+    def admits(self, entry: CacheEntry, cache: Cache) -> bool:
+        if not super().admits(entry, cache):
+            return False
+        return self.admit_hook(entry) if self.admit_hook else True
+
+    def select_victims(self, cache: Cache, needed: int) -> Iterable[Any]:
+        return self.victim_hook(list(cache.entries()), needed)
+
+
+#: Table 1, option O6 legal values -> policy factory.  ``LRU-Threshold``
+#: needs a threshold; the default matches a SpecWeb99-scale 512 KB cap.
+POLICIES = {
+    "LRU": LRUPolicy,
+    "LFU": LFUPolicy,
+    "LRU-MIN": LRUMinPolicy,
+    "LRU-Threshold": lambda threshold=512 * 1024: LRUThresholdPolicy(threshold),
+    "Hyper-G": HyperGPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Instantiate a policy by its Table-1 name (case-sensitive)."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache policy {name!r}; legal values: {sorted(POLICIES)}"
+        ) from None
+    return factory(**kwargs)

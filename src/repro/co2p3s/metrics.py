@@ -1,0 +1,104 @@
+"""Code metrics: classes, methods, NCSS.
+
+Tables 3 and 4 of the paper report code distribution as (classes,
+methods, NCSS) where NCSS is "the number of lines of code that were not
+comment statements".  We count the Python analogue: non-blank lines
+that are neither comments nor docstrings.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import tokenize
+from dataclasses import dataclass
+from typing import Iterable, List, Set
+
+__all__ = ["CodeMetrics", "measure_source", "measure_file", "measure_paths"]
+
+
+@dataclass
+class CodeMetrics:
+    """Counts for a body of code; addable so categories can aggregate."""
+
+    classes: int = 0
+    methods: int = 0
+    ncss: int = 0
+    files: int = 0
+
+    def __add__(self, other: "CodeMetrics") -> "CodeMetrics":
+        return CodeMetrics(
+            classes=self.classes + other.classes,
+            methods=self.methods + other.methods,
+            ncss=self.ncss + other.ncss,
+            files=self.files + other.files,
+        )
+
+    def row(self, label: str) -> str:
+        return f"{label:<24s} {self.classes:>8d} {self.methods:>8d} {self.ncss:>8d}"
+
+
+def _docstring_lines(tree: ast.AST) -> Set[int]:
+    """Line numbers occupied by docstrings."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            body = getattr(node, "body", [])
+            if body and isinstance(body[0], ast.Expr) and \
+                    isinstance(body[0].value, ast.Constant) and \
+                    isinstance(body[0].value.value, str):
+                expr = body[0]
+                end = expr.end_lineno or expr.lineno
+                lines.update(range(expr.lineno, end + 1))
+    return lines
+
+
+def measure_source(source: str) -> CodeMetrics:
+    """Metrics for one module's source text."""
+    tree = ast.parse(source)
+    doc_lines = _docstring_lines(tree)
+
+    comment_lines: Set[int] = set()
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comment_lines.add(tok.start[0])
+    except tokenize.TokenError:  # pragma: no cover - parse succeeded above
+        pass
+
+    ncss = 0
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if lineno in doc_lines:
+            continue
+        if lineno in comment_lines and stripped.startswith("#"):
+            continue
+        ncss += 1
+
+    classes = sum(isinstance(n, ast.ClassDef) for n in ast.walk(tree))
+    methods = sum(isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                  for n in ast.walk(tree))
+    return CodeMetrics(classes=classes, methods=methods, ncss=ncss, files=1)
+
+
+def measure_file(path: str) -> CodeMetrics:
+    with open(path, "r") as fh:
+        return measure_source(fh.read())
+
+
+def measure_paths(paths: Iterable[str]) -> CodeMetrics:
+    """Aggregate metrics over files and directories (``.py`` only)."""
+    total = CodeMetrics()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        total += measure_file(os.path.join(root, name))
+        elif path.endswith(".py"):
+            total += measure_file(path)
+    return total

@@ -1,0 +1,34 @@
+"""The N-Server pattern template (the paper's contribution).
+
+``NSERVER`` is the registered template instance; the Table 1 application
+configurations are exported alongside it.
+"""
+
+from repro.co2p3s.nserver.generator import NSERVER, NSERVER_MODULES, NServerTemplate
+from repro.co2p3s.nserver.options import (
+    ALL_FEATURES_ON,
+    COPS_FTP_OPTIONS,
+    COPS_HTTP_OPTIONS,
+    COPS_HTTP_OVERLOAD_OPTIONS,
+    COPS_HTTP_SCHEDULING_OPTIONS,
+    NSERVER_OPTION_SPECS,
+    POOL_TOGGLE_BASE,
+    option_table_rows,
+)
+from repro.co2p3s.nserver.table2 import PAPER_TABLE2, TABLE2_CLASS_ORDER
+
+__all__ = [
+    "ALL_FEATURES_ON",
+    "PAPER_TABLE2",
+    "POOL_TOGGLE_BASE",
+    "TABLE2_CLASS_ORDER",
+    "COPS_FTP_OPTIONS",
+    "COPS_HTTP_OPTIONS",
+    "COPS_HTTP_OVERLOAD_OPTIONS",
+    "COPS_HTTP_SCHEDULING_OPTIONS",
+    "NSERVER",
+    "NSERVER_MODULES",
+    "NSERVER_OPTION_SPECS",
+    "NServerTemplate",
+    "option_table_rows",
+]

@@ -1,0 +1,227 @@
+"""Substitution context for the N-Server template.
+
+Maps the twelve options to the ``$parameter`` values the fragments use.
+Option-disabled instrumentation lines expand to :data:`OMIT`, which the
+fragment renderer deletes — this is the crosscutting weave: a feature's
+call sites exist in the generated text only when its option is on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.co2p3s.codegen import OMIT
+from repro.co2p3s.options import OptionSet
+
+__all__ = ["build_context"]
+
+
+def build_context(o: OptionSet) -> Dict[str, Any]:
+    debug = o["O10"] == "Debug"
+    profiling = bool(o["O11"])
+    logging = bool(o["O12"])
+    idle = bool(o["O7"])
+    sched = bool(o["O8"])
+    overload = bool(o["O9"])
+    codec = bool(o["O3"])
+    pool = bool(o["O2"])
+    async_io = o["O4"] == "Asynchronous"
+    cache = o["O6"]
+    dynamic = o["O5"] == "Dynamic"
+
+    def on(flag: bool, line: str) -> str:
+        return line if flag else OMIT
+
+    ctx: Dict[str, Any] = {}
+
+    # -- handlers module -------------------------------------------------
+    for step, label in (("read_request", "readable"),
+                        ("send_reply", "writable")):
+        tag = step.replace("_", "-")
+        ctx[f"trace_{step}"] = on(
+            debug, f'self.reactor.tracer.trace("{tag}", event.handle.name)')
+        ctx[f"log_{step}"] = on(
+            logging, f'self.reactor.log.debug(f"{label}: {{event.handle.name}}")')
+        ctx[f"count_{step}"] = on(profiling, "self.events_handled += 1")
+        ctx[f"touch_{step}"] = on(
+            idle, "conn.handle.last_activity = self.reactor.clock()")
+
+    for step in ("decode", "encode", "compute"):
+        ctx[f"trace_{step}"] = on(
+            debug, f'self.reactor.tracer.trace("{step}", conn.handle.name)')
+        ctx[f"log_{step}"] = on(
+            logging, f'self.reactor.log.debug(f"{step}: {{conn.handle.name}}")')
+        ctx[f"touch_{step}"] = on(idle, "conn.touch()")
+
+    ctx["reclassify_priority"] = on(
+        sched, "conn.set_priority(conn.hooks.classify_priority(conn))")
+    # Handling may change a connection's service class (e.g. after
+    # authentication), so the Handle step re-evaluates the priority too.
+    ctx["compute_reclassify"] = on(
+        sched, "conn.set_priority(conn.hooks.classify_priority(conn))")
+    ctx["stamp_write_priority"] = on(
+        sched, "conn.handle.write_priority = conn.get_priority()")
+    ctx["compute_result_check"] = (
+        "# the result flows on to the Encode Reply step (Fig 1)"
+        if codec else
+        'if not (result is PENDING or result is CLOSE or result is None '
+        'or isinstance(result, (bytes, bytearray))): '
+        'raise TypeError("handle() must return bytes when no codec steps '
+        'are generated")')
+
+    # -- processing module ----------------------------------------------------
+    ctx["accept_target"] = (
+        "reactor.acceptor_event_handler.handle_guarded" if overload
+        else "reactor.acceptor_event_handler.handle")
+    ctx["completion_route_pool"] = on(
+        async_io, "self.route(EventKind.COMPLETION, reactor.submit_completion)")
+    ctx["completion_route_inline"] = on(
+        async_io, "self.route(EventKind.COMPLETION, reactor.process_other)")
+    if cache == "Custom":
+        ctx["cache_policy_expr"] = "reactor.hooks.make_cache_policy()"
+    elif cache == "LRU-Threshold":
+        ctx["cache_policy_expr"] = ('make_policy("LRU-Threshold", '
+                                    'threshold=configuration.cache_threshold)')
+    elif cache is not None:
+        ctx["cache_policy_expr"] = f'"{cache}"'
+    else:
+        ctx["cache_policy_expr"] = OMIT  # Cache class not generated
+
+    # -- communication module -----------------------------------------------------
+    ctx["use_codec"] = "True" if codec else "False"
+    ctx["communicator_profiler_arg"] = on(profiling,
+                                          "profiler=reactor.profiler,")
+    five = ('("read request", "decode request", "handle request", '
+            '"encode reply", "send reply")')
+    three = '("read request", "handle request", "send reply")'
+    ctx["pipeline_steps"] = five if codec else three
+    ctx["server_pipeline"] = five if codec else three
+
+    ctx["server_open_trace"] = on(
+        debug, 'self.reactor.tracer.trace("server", f"open port {self.port}")')
+    ctx["server_open_log"] = on(
+        logging, 'self.reactor.log.info(f"listening on port {self.port}")')
+    ctx["server_open_idle_timer"] = on(
+        idle, "self.reactor.timer_source.schedule("
+              'self.configuration.idle_scan_interval, payload="idle-scan")')
+    ctx["touch_new_communicator"] = on(idle, "conn.touch()")
+
+    ctx["client_connect_trace"] = on(
+        debug, 'self.reactor.tracer.trace("connect", handle.name)')
+    ctx["client_connect_log"] = on(
+        logging, 'self.reactor.log.info(f"connecting to '
+                 '{client_configuration.host}:{client_configuration.port}")')
+    ctx["client_connect_touch"] = on(
+        idle, "handle.last_activity = self.reactor.clock()")
+
+    ctx["trace_server_event"] = on(
+        debug, 'self.reactor.tracer.trace("server-event", str(event.payload))')
+    ctx["count_timer_events"] = on(profiling, "self.timer_events += 1")
+    ctx["idle_scan_dispatch"] = on(idle, "self._idle_scan(event)")
+
+    ctx["trace_connect_event"] = on(
+        debug, 'self.reactor.tracer.trace("connect", conn.handle.name)')
+    ctx["log_connect_event"] = on(
+        logging, 'self.reactor.log.info(f"connected to {conn.handle.name}")')
+    ctx["count_connections_established"] = on(
+        profiling, "self.connections_established += 1")
+    ctx["send_client_greeting"] = (
+        "conn.send_bytes(conn.hooks.encode("
+        "conn.hooks.client_greeting(conn), conn))"
+        if codec else
+        "conn.send_bytes(conn.hooks.client_greeting(conn))")
+
+    ctx["trace_accept"] = on(
+        debug, 'self.reactor.tracer.trace("accept", handle.name)')
+    ctx["log_accept"] = on(
+        logging, 'self.reactor.log.info(f"accepted {handle.name}")')
+    ctx["count_connections_accepted"] = on(
+        profiling, "self.connections_accepted += 1")
+    ctx["profile_connection_accepted"] = on(
+        profiling, "self.reactor.profiler.connection_accepted()")
+    ctx["send_server_greeting"] = (
+        "conn.send_bytes(conn.hooks.encode("
+        "conn.hooks.server_greeting(conn), conn))"
+        if codec else
+        "conn.send_bytes(conn.hooks.server_greeting(conn))")
+
+    ctx["trace_app_event"] = on(
+        debug, 'self.reactor.tracer.trace("app-event", str(event.payload))')
+    ctx["count_app_events"] = on(profiling, "self.events_handled += 1")
+    ctx["touch_app_event"] = on(
+        idle, "if event.handle is not None: "
+              "event.handle.last_activity = self.reactor.clock()")
+
+    ctx["trace_connects"] = "True" if debug else "False"
+
+    # -- reactor module ------------------------------------------------------------
+    ctx["make_profiler"] = on(profiling, "self.profiler = rt.Profiler()")
+    ctx["make_tracer"] = on(debug, "self.tracer = rt.EventTracer()")
+    ctx["make_log"] = on(logging, "self.log = rt.ServerLog()")
+    ctx["make_cache"] = on(cache is not None, "self.cache = Cache(self)")
+    if pool and sched:
+        ctx["make_processor"] = (
+            "self.processor = EventProcessor(self, "
+            "rt.QuotaPriorityQueue(configuration.scheduling_quotas), "
+            "configuration.processor_threads)")
+    elif pool:
+        ctx["make_processor"] = (
+            "self.processor = EventProcessor(self, rt.FifoEventQueue(), "
+            "configuration.processor_threads)")
+    else:
+        ctx["make_processor"] = OMIT
+    ctx["make_controller"] = on(
+        pool and dynamic,
+        "self.processor_controller = ProcessorController(self, self.processor)")
+    ctx["make_overload"] = on(
+        overload, "self.overload = rt.OverloadController("
+                  "max_connections=configuration.max_connections)")
+    ctx["watch_overload"] = on(
+        overload, 'self.overload.watch("reactive", self.processor.queue_probe, '
+                  "rt.Watermark(configuration.overload_high, "
+                  "configuration.overload_low))")
+    if async_io:
+        sink = "self.processor.submit" if pool else "self.source.post"
+        io_cache = "self.cache.file_cache" if cache is not None else "None"
+        ctx["make_file_io"] = (
+            f"self.file_io = rt.AsyncFileIO(sink={sink}, "
+            f"threads=configuration.file_io_threads, cache={io_cache}, "
+            f"root=configuration.document_root)")
+    else:
+        ctx["make_file_io"] = OMIT
+    ctx["dispatcher_threads_expr"] = (
+        "1" if o["O1"] == "1" else "2 * (os.cpu_count() or 1)")
+    ctx["enable_dispatch_profiling"] = on(
+        profiling, "self.dispatcher.enable_profiling()")
+    ctx["enable_cache_profiling"] = on(
+        profiling and cache is not None,
+        "self.cache.enable_profiling(self.profiler)")
+    ctx["wire_processor_error_trace"] = on(
+        debug and pool,
+        "self.processor.error_hook = self.processor.trace_error")
+
+    ctx["teardown_overload"] = on(overload, "self.overload.connection_closed()")
+    ctx["teardown_log"] = on(
+        logging, 'self.log.debug(f"teardown {conn.handle.name}")')
+
+    ctx["stamp_readable_priority"] = on(
+        sched, "event.priority = self._connection_priority(event.handle)")
+    ctx["stamp_writable_priority"] = on(
+        sched, 'event.priority = getattr(event.handle, "write_priority", 0)')
+    ctx["submit_call"] = ("self.processor.submit_scheduled(event)" if sched
+                          else "self.processor.submit(event)")
+
+    ctx["start_processor"] = on(pool, "self.processor.start()")
+    ctx["start_controller"] = on(pool and dynamic,
+                                 "self.processor_controller.start()")
+    ctx["start_file_io"] = on(async_io, "self.file_io.start()")
+    ctx["log_started"] = on(
+        logging, 'self.log.info(f"server listening on port '
+                 '{self.server_component.port}")')
+    ctx["stop_controller"] = on(pool and dynamic,
+                                "self.processor_controller.stop()")
+    ctx["stop_processor"] = on(pool, "self.processor.stop()")
+    ctx["stop_file_io"] = on(async_io, "self.file_io.stop()")
+    ctx["log_stopped"] = on(logging, 'self.log.info("server stopped")')
+
+    return ctx

@@ -1,0 +1,77 @@
+"""The paper's Table 2, as data.
+
+``PAPER_TABLE2[class_name][option_key]`` is ``"O"`` (option controls the
+class's existence), ``"+"`` (option alters the generated code of the
+class), or absent (no dependency).  The crosscut benches and tests
+compare the empirically computed matrix against this.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PAPER_TABLE2", "TABLE2_CLASS_ORDER"]
+
+TABLE2_CLASS_ORDER = [
+    "Event",
+    "CompletionEvent",
+    "FileOpenEvent",
+    "FileReadEvent",
+    "Handle",
+    "FileHandle",
+    "ReadRequestEventHandler",
+    "SendReplyEventHandler",
+    "DecodeRequestEventHandler",
+    "EncodeReplyEventHandler",
+    "ComputeRequestEventHandler",
+    "EventProcessor",
+    "ProcessorController",
+    "EventDispatcher",
+    "Cache",
+    "Reactor",
+    "CommunicatorComponent",
+    "ServerComponent",
+    "ClientComponent",
+    "ServerEventHandler",
+    "ConnectorEventHandler",
+    "AcceptorEventHandler",
+    "ContainerComponent",
+    "ApplicationEventHandler",
+    "ClientConfiguration",
+    "ServerConfiguration",
+    "Server",
+]
+
+PAPER_TABLE2 = {
+    "Event": {"O4": "+", "O8": "+"},
+    "CompletionEvent": {"O4": "O"},
+    "FileOpenEvent": {"O4": "O", "O6": "+"},
+    "FileReadEvent": {"O4": "O", "O6": "+"},
+    "Handle": {"O1": "+"},
+    "FileHandle": {"O4": "O", "O6": "+"},
+    "ReadRequestEventHandler": {"O7": "+", "O10": "+", "O11": "+", "O12": "+"},
+    "SendReplyEventHandler": {"O7": "+", "O10": "+", "O11": "+", "O12": "+"},
+    "DecodeRequestEventHandler": {"O3": "O", "O7": "+", "O8": "+",
+                                  "O10": "+", "O12": "+"},
+    "EncodeReplyEventHandler": {"O3": "O", "O7": "+", "O8": "+",
+                                "O10": "+", "O12": "+"},
+    "ComputeRequestEventHandler": {"O3": "+", "O4": "+", "O7": "+",
+                                   "O8": "+", "O10": "+", "O12": "+"},
+    "EventProcessor": {"O5": "+", "O8": "+", "O9": "+", "O10": "+"},
+    "ProcessorController": {"O5": "O"},
+    "EventDispatcher": {"O2": "+", "O4": "+", "O9": "+", "O10": "+",
+                        "O11": "+"},
+    "Cache": {"O6": "O", "O11": "+"},
+    "Reactor": {"O1": "+", "O2": "+", "O4": "+", "O5": "+", "O6": "+",
+                "O8": "+", "O9": "+", "O10": "+", "O11": "+", "O12": "+"},
+    "CommunicatorComponent": {"O3": "+", "O7": "+", "O8": "+", "O11": "+"},
+    "ServerComponent": {"O3": "+", "O7": "+", "O10": "+", "O12": "+"},
+    "ClientComponent": {"O3": "+", "O7": "+", "O10": "+", "O12": "+"},
+    "ServerEventHandler": {"O7": "+", "O10": "+", "O11": "+"},
+    "ConnectorEventHandler": {"O3": "+", "O10": "+", "O11": "+", "O12": "+"},
+    "AcceptorEventHandler": {"O3": "+", "O9": "+", "O10": "+", "O11": "+",
+                             "O12": "+"},
+    "ContainerComponent": {"O7": "+", "O10": "+", "O11": "+", "O12": "+"},
+    "ApplicationEventHandler": {"O7": "+", "O10": "+", "O11": "+"},
+    "ClientConfiguration": {"O3": "+", "O10": "+"},
+    "ServerConfiguration": {"O10": "+"},
+    "Server": {"O3": "+"},
+}

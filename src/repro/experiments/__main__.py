@@ -1,0 +1,97 @@
+"""Reproduce the paper's tables and figures from the command line.
+
+    python -m repro.experiments table1
+    python -m repro.experiments table2 table3 table4
+    python -m repro.experiments fig5 --quick
+    python -m repro.experiments all            # everything (~2 min)
+
+``--quick`` shrinks durations/client counts for a fast sanity pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    format_fig3,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    run_capacity_sweep,
+    run_fig5,
+    run_fig6,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+EXPERIMENTS = ("table1", "table2", "table3", "table4",
+               "fig3", "fig4", "fig5", "fig6")
+
+
+def run_one(name: str, quick: bool, cache: dict) -> str:
+    if name == "table1":
+        return format_table1(run_table1())
+    if name == "table2":
+        return format_table2(run_table2())
+    if name == "table3":
+        return format_table3(run_table3())
+    if name == "table4":
+        return format_table4(run_table4())
+    if name in ("fig3", "fig4"):
+        if "sweep" not in cache:
+            counts = (1, 8, 64, 256, 1024) if quick else \
+                (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+            cache["sweep"] = run_capacity_sweep(
+                client_counts=counts,
+                duration=15.0 if quick else 40.0,
+                warmup=5.0 if quick else 10.0)
+        sweep = cache["sweep"]
+        return format_fig3(sweep) if name == "fig3" else format_fig4(sweep)
+    if name == "fig5":
+        points, portal_only = run_fig5(
+            ratios=((1, 1), (1, 4)) if quick else ((1, 1), (1, 2), (1, 4), (1, 10)),
+            clients=176 if quick else 192,
+            duration=15.0 if quick else 30.0,
+            warmup=4.0 if quick else 8.0)
+        return format_fig5(points, portal_only)
+    if name == "fig6":
+        points = run_fig6(
+            client_counts=(8, 64) if quick else (1, 4, 16, 32, 64, 128),
+            duration=15.0 if quick else 30.0,
+            warmup=4.0 if quick else 8.0)
+        return format_fig6(points)
+    raise ValueError(name)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures")
+    parser.add_argument("experiments", nargs="+",
+                        choices=EXPERIMENTS + ("all",))
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps for a fast sanity pass")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments \
+        else list(dict.fromkeys(args.experiments))
+    cache: dict = {}
+    for name in names:
+        started = time.monotonic()
+        output = run_one(name, args.quick, cache)
+        elapsed = time.monotonic() - started
+        print(output)
+        print(f"[{name}: {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""FTP protocol library: replies, virtual filesystem, users, and the
+control-connection session state machine.
+
+Plays the role Table 3 assigns to the reused Apache FTPServer code base:
+an existing FTP implementation that COPS-FTP (``repro.servers.cops_ftp``)
+adapts onto the event-driven generated framework.
+"""
+
+from repro.ftp.auth import AuthError, User, UserRegistry
+from repro.ftp.replies import REPLY_TEXT, multiline_reply, reply
+from repro.ftp.session import FtpSession, SessionResult, TransferAction
+from repro.ftp.threaded_server import ThreadedFtpServer
+from repro.ftp.vfs import DirNode, FileNode, VfsError, VirtualFS
+
+__all__ = [
+    "ThreadedFtpServer",
+    "AuthError",
+    "DirNode",
+    "FileNode",
+    "FtpSession",
+    "REPLY_TEXT",
+    "SessionResult",
+    "TransferAction",
+    "User",
+    "UserRegistry",
+    "VfsError",
+    "VirtualFS",
+    "multiline_reply",
+    "reply",
+]

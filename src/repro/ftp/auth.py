@@ -1,0 +1,71 @@
+"""FTP user registry and authentication."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["User", "UserRegistry", "AuthError"]
+
+
+class AuthError(Exception):
+    """Login failure."""
+
+
+@dataclass
+class User:
+    name: str
+    password: Optional[str] = None     # None -> any password (anonymous)
+    home: str = "/"
+    writable: bool = True
+    #: max concurrent sessions for this user (None = unlimited)
+    max_sessions: Optional[int] = None
+
+
+class UserRegistry:
+    """User database plus live-session accounting."""
+
+    def __init__(self, allow_anonymous: bool = True):
+        self._users: Dict[str, User] = {}
+        self._live: Dict[str, int] = {}
+        if allow_anonymous:
+            self.add(User(name="anonymous", password=None,
+                          home="/pub", writable=False))
+
+    def add(self, user: User) -> None:
+        self._users[user.name.lower()] = user
+
+    def remove(self, name: str) -> None:
+        self._users.pop(name.lower(), None)
+
+    def get(self, name: str) -> Optional[User]:
+        return self._users.get(name.lower())
+
+    def known(self, name: str) -> bool:
+        return name.lower() in self._users
+
+    def authenticate(self, name: str, password: str) -> User:
+        """Return the user on success; raise :class:`AuthError` otherwise."""
+        user = self.get(name)
+        if user is None:
+            raise AuthError(f"unknown user {name!r}")
+        if user.password is not None and user.password != password:
+            raise AuthError("bad password")
+        if (user.max_sessions is not None
+                and self._live.get(user.name, 0) >= user.max_sessions):
+            raise AuthError("too many sessions")
+        return user
+
+    # -- session accounting -------------------------------------------------
+    def session_opened(self, user: User) -> None:
+        self._live[user.name] = self._live.get(user.name, 0) + 1
+
+    def session_closed(self, user: User) -> None:
+        n = self._live.get(user.name, 0)
+        if n <= 1:
+            self._live.pop(user.name, None)
+        else:
+            self._live[user.name] = n - 1
+
+    def live_sessions(self, name: str) -> int:
+        return self._live.get(name, 0)

@@ -1,0 +1,54 @@
+"""FTP reply codes (RFC 959) and reply formatting."""
+
+from __future__ import annotations
+
+__all__ = ["REPLY_TEXT", "reply", "multiline_reply"]
+
+REPLY_TEXT = {
+    125: "Data connection already open; transfer starting.",
+    150: "File status okay; about to open data connection.",
+    200: "Command okay.",
+    202: "Command not implemented, superfluous at this site.",
+    211: "System status.",
+    213: "File status.",
+    214: "Help message.",
+    215: "UNIX Type: L8",
+    220: "Service ready for new user.",
+    221: "Service closing control connection.",
+    226: "Closing data connection. Requested file action successful.",
+    227: "Entering Passive Mode.",
+    230: "User logged in, proceed.",
+    250: "Requested file action okay, completed.",
+    257: "Pathname created.",
+    331: "User name okay, need password.",
+    350: "Requested file action pending further information.",
+    421: "Service not available, closing control connection.",
+    425: "Can't open data connection.",
+    426: "Connection closed; transfer aborted.",
+    450: "Requested file action not taken.",
+    500: "Syntax error, command unrecognized.",
+    501: "Syntax error in parameters or arguments.",
+    502: "Command not implemented.",
+    503: "Bad sequence of commands.",
+    530: "Not logged in.",
+    550: "Requested action not taken.",
+    553: "Requested action not taken. File name not allowed.",
+}
+
+
+def reply(code: int, text: str | None = None) -> bytes:
+    """One-line reply: ``CODE text\\r\\n``."""
+    body = text if text is not None else REPLY_TEXT.get(code, "")
+    return f"{code} {body}\r\n".encode("latin-1")
+
+
+def multiline_reply(code: int, lines: list) -> bytes:
+    """RFC 959 multiline form: ``CODE-first ... CODE last``."""
+    if not lines:
+        return reply(code)
+    if len(lines) == 1:
+        return reply(code, lines[0])
+    out = [f"{code}-{lines[0]}"]
+    out.extend(f" {line}" for line in lines[1:-1])
+    out.append(f"{code} {lines[-1]}")
+    return ("\r\n".join(out) + "\r\n").encode("latin-1")

@@ -1,0 +1,412 @@
+"""FTP control-connection session state machine (RFC 959 subset).
+
+Transport-agnostic: the session consumes one command line at a time and
+returns a :class:`SessionResult` — reply bytes for the control
+connection, an optional :class:`TransferAction` describing data-channel
+work, and a close flag.  The surrounding server (event-driven COPS-FTP,
+or a plain test driver) owns sockets; the session owns protocol state:
+login, working directory, transfer mode, rename sequencing.
+
+This package as a whole plays the role Table 3 assigns to the "reused"
+Apache FTPServer code: an existing, self-contained FTP implementation
+that COPS-FTP adapts to an event-driven architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.ftp.auth import AuthError, User, UserRegistry
+from repro.ftp.replies import multiline_reply, reply
+from repro.ftp.vfs import VfsError, VirtualFS
+
+__all__ = ["FtpSession", "SessionResult", "TransferAction"]
+
+FEATURES = ["PASV", "SIZE", "UTF8"]
+
+
+@dataclass
+class TransferAction:
+    """Data-channel work the driver must perform.
+
+    ``kind`` is ``"send"`` (payload holds the bytes to ship: RETR file
+    contents or LIST text) or ``"receive"`` (``sink`` consumes uploaded
+    bytes when the client finishes).  After moving the data, the driver
+    calls :meth:`FtpSession.transfer_complete` for the closing reply.
+    """
+
+    kind: str
+    payload: bytes = b""
+    sink: Optional[Callable[[bytes], None]] = None
+    path: str = ""
+
+
+@dataclass
+class SessionResult:
+    replies: List[bytes] = field(default_factory=list)
+    transfer: Optional[TransferAction] = None
+    close: bool = False
+
+    @property
+    def wire(self) -> bytes:
+        return b"".join(self.replies)
+
+
+class FtpSession:
+    """Per-connection protocol state machine."""
+
+    def __init__(
+        self,
+        fs: VirtualFS,
+        users: UserRegistry,
+        on_pasv: Optional[Callable[[], Tuple[str, int]]] = None,
+    ):
+        self.fs = fs
+        self.users = users
+        self.on_pasv = on_pasv
+        self.user: Optional[User] = None
+        self._pending_user: Optional[str] = None
+        self.cwd = "/"
+        self.type = "A"             # A = ASCII, I = binary
+        self.passive = False
+        self.active_target: Optional[Tuple[str, int]] = None
+        self._rename_from: Optional[str] = None
+        self.closed = False
+        self.transfers = 0
+
+    # -- helpers -----------------------------------------------------------
+    def greeting(self) -> bytes:
+        return reply(220, "COPS-FTP (repro) service ready.")
+
+    @property
+    def logged_in(self) -> bool:
+        return self.user is not None
+
+    def _resolve(self, arg: str) -> str:
+        return self.fs.join(self.cwd, arg)
+
+    def _require_login(self) -> Optional[SessionResult]:
+        if not self.logged_in:
+            return SessionResult([reply(530)])
+        return None
+
+    def _require_write(self, path: str) -> Optional[SessionResult]:
+        denied = self._require_login()
+        if denied:
+            return denied
+        if not self.user.writable:
+            return SessionResult([reply(550, "Permission denied.")])
+        home = self.fs.normalize(self.user.home)
+        if home != "/" and not (path == home or path.startswith(home + "/")):
+            return SessionResult([reply(550, "Permission denied.")])
+        return None
+
+    # -- entry point -------------------------------------------------------
+    def handle_command(self, line: bytes) -> SessionResult:
+        """Process one CRLF-terminated control-connection line."""
+        if self.closed:
+            return SessionResult([], close=True)
+        try:
+            text = line.decode("latin-1").rstrip("\r\n")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            return SessionResult([reply(500)])
+        if not text.strip():
+            return SessionResult([reply(500)])
+        verb, _, arg = text.partition(" ")
+        verb = verb.upper().strip()
+        arg = arg.strip()
+        handler = getattr(self, f"_cmd_{verb.lower()}", None)
+        if handler is None:
+            return SessionResult([reply(500, f"Command {verb!r} not understood.")])
+        if verb != "RNTO" and self._rename_from is not None:
+            self._rename_from = None  # RNFR must be immediately followed by RNTO
+        return handler(arg)
+
+    def transfer_complete(self, ok: bool = True) -> bytes:
+        """Closing reply after the driver moved the data."""
+        self.transfers += 1
+        return reply(226) if ok else reply(426)
+
+    # -- access / session commands ----------------------------------------------
+    def _cmd_user(self, arg: str) -> SessionResult:
+        if not arg:
+            return SessionResult([reply(501, "Missing user name.")])
+        self._pending_user = arg
+        self.user = None
+        return SessionResult([reply(331, f"Password required for {arg}.")])
+
+    def _cmd_pass(self, arg: str) -> SessionResult:
+        if self._pending_user is None:
+            return SessionResult([reply(503, "Login with USER first.")])
+        try:
+            user = self.users.authenticate(self._pending_user, arg)
+        except AuthError as exc:
+            self._pending_user = None
+            return SessionResult([reply(530, f"Login incorrect: {exc}.")])
+        self.user = user
+        self._pending_user = None
+        self.cwd = self.fs.normalize(user.home)
+        if not self.fs.is_dir(self.cwd):
+            self.fs.makedirs(self.cwd)
+        self.users.session_opened(user)
+        return SessionResult([reply(230, f"User {user.name} logged in.")])
+
+    def _cmd_quit(self, arg: str) -> SessionResult:
+        self.closed = True
+        if self.user is not None:
+            self.users.session_closed(self.user)
+        return SessionResult([reply(221)], close=True)
+
+    def _cmd_noop(self, arg: str) -> SessionResult:
+        return SessionResult([reply(200)])
+
+    def _cmd_syst(self, arg: str) -> SessionResult:
+        return SessionResult([reply(215)])
+
+    def _cmd_feat(self, arg: str) -> SessionResult:
+        return SessionResult([multiline_reply(211, ["Features:", *FEATURES, "End"])])
+
+    def _cmd_help(self, arg: str) -> SessionResult:
+        verbs = sorted(name[5:].upper() for name in dir(self)
+                       if name.startswith("_cmd_"))
+        return SessionResult([multiline_reply(214, ["Recognized commands:",
+                                                    " ".join(verbs), "Done"])])
+
+    def _cmd_type(self, arg: str) -> SessionResult:
+        code = arg.upper().split(" ")[0] if arg else ""
+        if code in ("A", "I"):
+            self.type = code
+            return SessionResult([reply(200, f"Type set to {code}.")])
+        return SessionResult([reply(501, f"Unsupported type {arg!r}.")])
+
+    def _cmd_mode(self, arg: str) -> SessionResult:
+        if arg.upper() == "S":
+            return SessionResult([reply(200)])
+        return SessionResult([reply(502, "Only stream mode supported.")])
+
+    def _cmd_stru(self, arg: str) -> SessionResult:
+        if arg.upper() == "F":
+            return SessionResult([reply(200)])
+        return SessionResult([reply(502, "Only file structure supported.")])
+
+    # -- directory commands --------------------------------------------------------
+    def _cmd_pwd(self, arg: str) -> SessionResult:
+        denied = self._require_login()
+        if denied:
+            return denied
+        return SessionResult([reply(257, f'"{self.cwd}" is current directory.')])
+
+    def _cmd_cwd(self, arg: str) -> SessionResult:
+        denied = self._require_login()
+        if denied:
+            return denied
+        target = self._resolve(arg or "/")
+        if not self.fs.is_dir(target):
+            return SessionResult([reply(550, f"{arg}: no such directory.")])
+        self.cwd = target
+        return SessionResult([reply(250, f"Directory changed to {target}.")])
+
+    def _cmd_cdup(self, arg: str) -> SessionResult:
+        return self._cmd_cwd("..")
+
+    def _cmd_mkd(self, arg: str) -> SessionResult:
+        if not arg:
+            return SessionResult([reply(501)])
+        target = self._resolve(arg)
+        denied = self._require_write(target)
+        if denied:
+            return denied
+        try:
+            self.fs.mkdir(target)
+        except VfsError as exc:
+            return SessionResult([reply(550, str(exc))])
+        return SessionResult([reply(257, f'"{target}" created.')])
+
+    def _cmd_rmd(self, arg: str) -> SessionResult:
+        if not arg:
+            return SessionResult([reply(501)])
+        target = self._resolve(arg)
+        denied = self._require_write(target)
+        if denied:
+            return denied
+        try:
+            self.fs.rmdir(target)
+        except VfsError as exc:
+            return SessionResult([reply(550, str(exc))])
+        return SessionResult([reply(250)])
+
+    def _cmd_dele(self, arg: str) -> SessionResult:
+        if not arg:
+            return SessionResult([reply(501)])
+        target = self._resolve(arg)
+        denied = self._require_write(target)
+        if denied:
+            return denied
+        try:
+            self.fs.delete(target)
+        except VfsError as exc:
+            return SessionResult([reply(550, str(exc))])
+        return SessionResult([reply(250)])
+
+    def _cmd_rnfr(self, arg: str) -> SessionResult:
+        if not arg:
+            return SessionResult([reply(501)])
+        denied = self._require_login()
+        if denied:
+            return denied
+        target = self._resolve(arg)
+        if not self.fs.exists(target):
+            return SessionResult([reply(550, f"{arg}: not found.")])
+        self._rename_from = target
+        return SessionResult([reply(350, "Ready for RNTO.")])
+
+    def _cmd_rnto(self, arg: str) -> SessionResult:
+        if self._rename_from is None:
+            return SessionResult([reply(503, "RNFR required first.")])
+        if not arg:
+            return SessionResult([reply(501)])
+        src, self._rename_from = self._rename_from, None
+        dst = self._resolve(arg)
+        denied = self._require_write(dst)
+        if denied:
+            return denied
+        try:
+            self.fs.rename(src, dst)
+        except VfsError as exc:
+            return SessionResult([reply(553, str(exc))])
+        return SessionResult([reply(250)])
+
+    def _cmd_size(self, arg: str) -> SessionResult:
+        denied = self._require_login()
+        if denied:
+            return denied
+        try:
+            return SessionResult([reply(213, str(self.fs.size(self._resolve(arg))))])
+        except VfsError as exc:
+            return SessionResult([reply(550, str(exc))])
+
+    def _cmd_stat(self, arg: str) -> SessionResult:
+        denied = self._require_login()
+        if denied:
+            return denied
+        lines = [f"COPS-FTP status for {self.user.name}",
+                 f"Working directory: {self.cwd}",
+                 f"Transfer type: {self.type}",
+                 "End of status"]
+        return SessionResult([multiline_reply(211, lines)])
+
+    # -- data channel setup -----------------------------------------------------------
+    def _cmd_pasv(self, arg: str) -> SessionResult:
+        denied = self._require_login()
+        if denied:
+            return denied
+        if self.on_pasv is None:
+            return SessionResult([reply(502, "Passive mode unavailable.")])
+        host, port = self.on_pasv()
+        self.passive = True
+        self.active_target = None
+        h = host.replace(".", ",")
+        return SessionResult([reply(227, f"Entering Passive Mode "
+                                         f"({h},{port // 256},{port % 256}).")])
+
+    def _cmd_port(self, arg: str) -> SessionResult:
+        denied = self._require_login()
+        if denied:
+            return denied
+        parts = arg.split(",")
+        if len(parts) != 6:
+            return SessionResult([reply(501, "Malformed PORT.")])
+        try:
+            nums = [int(p) for p in parts]
+            if not all(0 <= n <= 255 for n in nums):
+                raise ValueError
+        except ValueError:
+            return SessionResult([reply(501, "Malformed PORT.")])
+        host = ".".join(str(n) for n in nums[:4])
+        port = nums[4] * 256 + nums[5]
+        self.active_target = (host, port)
+        self.passive = False
+        return SessionResult([reply(200, "PORT command successful.")])
+
+    def _data_ready(self) -> bool:
+        return self.passive or self.active_target is not None
+
+    # -- transfers --------------------------------------------------------------------
+    def _cmd_list(self, arg: str) -> SessionResult:
+        return self._listing(arg, long_format=True)
+
+    def _cmd_nlst(self, arg: str) -> SessionResult:
+        return self._listing(arg, long_format=False)
+
+    def _listing(self, arg: str, long_format: bool) -> SessionResult:
+        denied = self._require_login()
+        if denied:
+            return denied
+        if not self._data_ready():
+            return SessionResult([reply(425, "Use PASV or PORT first.")])
+        target = self._resolve(arg) if arg else self.cwd
+        try:
+            if long_format:
+                lines = self.fs.list_long(target)
+            else:
+                lines = self.fs.listdir(target)
+        except VfsError as exc:
+            return SessionResult([reply(550, str(exc))])
+        payload = ("\r\n".join(lines) + ("\r\n" if lines else "")).encode("latin-1")
+        return SessionResult(
+            [reply(150, "Opening data connection for listing.")],
+            transfer=TransferAction(kind="send", payload=payload, path=target),
+        )
+
+    def _cmd_retr(self, arg: str) -> SessionResult:
+        denied = self._require_login()
+        if denied:
+            return denied
+        if not arg:
+            return SessionResult([reply(501)])
+        if not self._data_ready():
+            return SessionResult([reply(425, "Use PASV or PORT first.")])
+        target = self._resolve(arg)
+        try:
+            data = self.fs.read_file(target)
+        except VfsError as exc:
+            return SessionResult([reply(550, str(exc))])
+        return SessionResult(
+            [reply(150, f"Opening data connection for {arg} "
+                        f"({len(data)} bytes).")],
+            transfer=TransferAction(kind="send", payload=data, path=target),
+        )
+
+    def _cmd_stor(self, arg: str) -> SessionResult:
+        return self._store(arg, append=False)
+
+    def _cmd_appe(self, arg: str) -> SessionResult:
+        return self._store(arg, append=True)
+
+    def _store(self, arg: str, append: bool) -> SessionResult:
+        if not arg:
+            return SessionResult([reply(501)])
+        if not self._data_ready():
+            return SessionResult([reply(425, "Use PASV or PORT first.")])
+        target = self._resolve(arg)
+        denied = self._require_write(target)
+        if denied:
+            return denied
+
+        def sink(data: bytes, _target=target, _append=append) -> None:
+            if _append:
+                self.fs.append_file(_target, data)
+            else:
+                self.fs.write_file(_target, data)
+
+        return SessionResult(
+            [reply(150, f"Ready to receive {arg}.")],
+            transfer=TransferAction(kind="receive", sink=sink, path=target),
+        )
+
+    def _cmd_abor(self, arg: str) -> SessionResult:
+        return SessionResult([reply(226, "No transfer to abort.")])
+
+    def _cmd_rest(self, arg: str) -> SessionResult:
+        return SessionResult([reply(502, "Restart not supported.")])

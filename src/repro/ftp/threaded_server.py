@@ -1,0 +1,177 @@
+"""Thread-per-connection FTP server (the pre-adaptation architecture).
+
+This is the conventional multiprogramming server the COPS-FTP exercise
+starts from — the role Apache FTPServer's connection handling plays in
+Table 3.  The event-driven COPS-FTP *replaces* this module's blocking
+driver (Table 3's "removed code") while *reusing* the session machine,
+VFS and user registry, and *adding* the thin adapter in
+``repro.servers.cops_ftp``.
+
+It is also a useful baseline on its own: same protocol behaviour, one
+OS thread per control connection.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.ftp.auth import UserRegistry
+from repro.ftp.session import FtpSession
+from repro.ftp.vfs import VirtualFS
+
+__all__ = ["ThreadedFtpServer"]
+
+
+class ThreadedFtpServer:
+    """Blocking, thread-per-connection FTP server."""
+
+    def __init__(self, fs: Optional[VirtualFS] = None,
+                 users: Optional[UserRegistry] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_connections: int = 64):
+        self.fs = fs if fs is not None else VirtualFS()
+        self.users = users if users is not None else UserRegistry()
+        self.host = host
+        self._requested_port = port
+        self.max_connections = max_connections
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._running = threading.Event()
+        self._threads: list = []
+        self.connections_served = 0
+
+    @property
+    def port(self) -> int:
+        if self._listener is None:
+            raise RuntimeError("server not started")
+        return self._listener.getsockname()[1]
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        if self._running.is_set():
+            return
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.host, self._requested_port))
+        self._listener.listen(self.max_connections)
+        self._listener.settimeout(0.2)
+        self._running.set()
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               daemon=True,
+                                               name="ftp-accept")
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        if self._listener is not None:
+            self._listener.close()
+        for t in list(self._threads):
+            t.join(timeout=2.0)
+
+    def __enter__(self) -> "ThreadedFtpServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connection handling --------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if threading.active_count() > self.max_connections + 8:
+                conn.close()  # crude connection cap
+                continue
+            t = threading.Thread(target=self._serve, args=(conn,),
+                                 daemon=True, name="ftp-conn")
+            self._threads.append(t)
+            t.start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        self.connections_served += 1
+        pasv_listener: dict = {"sock": None}
+
+        def open_pasv():
+            if pasv_listener["sock"] is not None:
+                pasv_listener["sock"].close()
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, 0))
+            listener.listen(1)
+            listener.settimeout(5.0)
+            pasv_listener["sock"] = listener
+            return listener.getsockname()
+
+        session = FtpSession(self.fs, self.users, on_pasv=open_pasv)
+        conn.settimeout(30.0)
+        try:
+            conn.sendall(session.greeting())
+            buf = b""
+            while self._running.is_set():
+                if b"\n" not in buf:
+                    try:
+                        chunk = conn.recv(4096)
+                    except socket.timeout:
+                        break
+                    if not chunk:
+                        break
+                    buf += chunk
+                    continue
+                line, buf = buf.split(b"\n", 1)
+                result = session.handle_command(line + b"\n")
+                conn.sendall(result.wire)
+                if result.transfer is not None:
+                    ok = self._run_transfer(pasv_listener, result.transfer)
+                    conn.sendall(session.transfer_complete(ok))
+                if result.close:
+                    break
+        except OSError:
+            pass
+        finally:
+            if pasv_listener["sock"] is not None:
+                pasv_listener["sock"].close()
+            if session.user is not None and not session.closed:
+                self.users.session_closed(session.user)
+            conn.close()
+            me = threading.current_thread()
+            if me in self._threads:
+                self._threads.remove(me)
+
+    def _run_transfer(self, pasv_listener: dict, action) -> bool:
+        listener = pasv_listener.pop("sock", None)
+        pasv_listener["sock"] = None
+        if listener is None:
+            return False
+        try:
+            data_sock, _ = listener.accept()
+        except (socket.timeout, OSError):
+            listener.close()
+            return False
+        try:
+            if action.kind == "send":
+                data_sock.sendall(action.payload)
+            else:
+                chunks = []
+                while True:
+                    chunk = data_sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                action.sink(b"".join(chunks))
+            return True
+        except OSError:
+            return False
+        finally:
+            data_sock.close()
+            listener.close()

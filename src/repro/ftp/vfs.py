@@ -1,0 +1,203 @@
+"""In-memory virtual filesystem for the FTP server.
+
+Keeps FTP sessions hermetic: tests and examples never touch the real
+disk.  Paths are POSIX-style; each node is a directory (dict of
+children) or a file (bytes).
+"""
+
+from __future__ import annotations
+
+import posixpath
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = ["VfsError", "VirtualFS", "FileNode", "DirNode"]
+
+
+class VfsError(Exception):
+    """Filesystem operation failure with an FTP-friendly message."""
+
+
+@dataclass
+class FileNode:
+    data: bytes = b""
+    mtime: float = field(default_factory=time.time)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class DirNode:
+    children: Dict[str, Union["DirNode", FileNode]] = field(default_factory=dict)
+    mtime: float = field(default_factory=time.time)
+
+
+class VirtualFS:
+    """POSIX-path in-memory filesystem."""
+
+    def __init__(self):
+        self.root = DirNode()
+
+    # -- path plumbing ---------------------------------------------------
+    @staticmethod
+    def normalize(path: str) -> str:
+        """Absolute, ``..``-collapsed form of ``path``."""
+        if not path.startswith("/"):
+            path = "/" + path
+        norm = posixpath.normpath(path)
+        return "/" if norm in (".", "//") else norm
+
+    @staticmethod
+    def join(cwd: str, path: str) -> str:
+        """Resolve ``path`` relative to ``cwd`` (absolute paths win)."""
+        if path.startswith("/"):
+            return VirtualFS.normalize(path)
+        return VirtualFS.normalize(posixpath.join(cwd, path))
+
+    def _walk(self, path: str) -> Union[DirNode, FileNode]:
+        node: Union[DirNode, FileNode] = self.root
+        for part in self.normalize(path).strip("/").split("/"):
+            if not part:
+                continue
+            if not isinstance(node, DirNode) or part not in node.children:
+                raise VfsError(f"no such file or directory: {path}")
+            node = node.children[part]
+        return node
+
+    def _parent_of(self, path: str) -> tuple:
+        norm = self.normalize(path)
+        if norm == "/":
+            raise VfsError("cannot operate on /")
+        parent_path, name = posixpath.split(norm)
+        parent = self._walk(parent_path)
+        if not isinstance(parent, DirNode):
+            raise VfsError(f"not a directory: {parent_path}")
+        return parent, name
+
+    # -- queries -----------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        try:
+            self._walk(path)
+            return True
+        except VfsError:
+            return False
+
+    def is_dir(self, path: str) -> bool:
+        try:
+            return isinstance(self._walk(path), DirNode)
+        except VfsError:
+            return False
+
+    def is_file(self, path: str) -> bool:
+        try:
+            return isinstance(self._walk(path), FileNode)
+        except VfsError:
+            return False
+
+    def size(self, path: str) -> int:
+        node = self._walk(path)
+        if not isinstance(node, FileNode):
+            raise VfsError(f"not a regular file: {path}")
+        return node.size
+
+    def listdir(self, path: str) -> List[str]:
+        node = self._walk(path)
+        if not isinstance(node, DirNode):
+            raise VfsError(f"not a directory: {path}")
+        return sorted(node.children)
+
+    def list_long(self, path: str) -> List[str]:
+        """ls -l style lines for LIST."""
+        node = self._walk(path)
+        if isinstance(node, FileNode):
+            name = posixpath.basename(self.normalize(path))
+            return [_long_line(name, node)]
+        return [_long_line(name, child)
+                for name, child in sorted(node.children.items())]
+
+    # -- mutations -----------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise VfsError(f"already exists: {path}")
+        parent.children[name] = DirNode()
+
+    def makedirs(self, path: str) -> None:
+        norm = self.normalize(path)
+        built = ""
+        for part in norm.strip("/").split("/"):
+            if not part:
+                continue
+            built += "/" + part
+            if not self.exists(built):
+                self.mkdir(built)
+
+    def rmdir(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        node = parent.children.get(name)
+        if not isinstance(node, DirNode):
+            raise VfsError(f"not a directory: {path}")
+        if node.children:
+            raise VfsError(f"directory not empty: {path}")
+        del parent.children[name]
+
+    def write_file(self, path: str, data: bytes) -> None:
+        parent, name = self._parent_of(path)
+        existing = parent.children.get(name)
+        if isinstance(existing, DirNode):
+            raise VfsError(f"is a directory: {path}")
+        parent.children[name] = FileNode(data=bytes(data))
+
+    def append_file(self, path: str, data: bytes) -> None:
+        if self.is_file(path):
+            node = self._walk(path)
+            node.data += bytes(data)
+            node.mtime = time.time()
+        else:
+            self.write_file(path, data)
+
+    def read_file(self, path: str) -> bytes:
+        node = self._walk(path)
+        if not isinstance(node, FileNode):
+            raise VfsError(f"not a regular file: {path}")
+        return node.data
+
+    def delete(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        node = parent.children.get(name)
+        if node is None:
+            raise VfsError(f"no such file: {path}")
+        if isinstance(node, DirNode):
+            raise VfsError(f"is a directory: {path}")
+        del parent.children[name]
+
+    def rename(self, src: str, dst: str) -> None:
+        src_parent, src_name = self._parent_of(src)
+        if src_name not in src_parent.children:
+            raise VfsError(f"no such file or directory: {src}")
+        dst_parent, dst_name = self._parent_of(dst)
+        if dst_name in dst_parent.children:
+            raise VfsError(f"already exists: {dst}")
+        dst_parent.children[dst_name] = src_parent.children.pop(src_name)
+
+    def walk(self, path: str = "/") -> Iterator[str]:
+        """Yield every path under ``path`` (depth-first)."""
+        node = self._walk(path)
+        base = self.normalize(path)
+        yield base
+        if isinstance(node, DirNode):
+            for name in sorted(node.children):
+                child_path = posixpath.join(base, name)
+                yield from self.walk(child_path)
+
+
+def _long_line(name: str, node: Union[DirNode, FileNode]) -> str:
+    if isinstance(node, DirNode):
+        mode, size = "drwxr-xr-x", 4096
+    else:
+        mode, size = "-rw-r--r--", node.size
+    stamp = time.strftime("%b %d %H:%M", time.localtime(node.mtime))
+    return f"{mode} 1 ftp ftp {size:>12d} {stamp} {name}"

@@ -1,0 +1,36 @@
+"""HTTP protocol library.
+
+Plays the role of COPS-HTTP's hand-written "HTTP protocol code"
+(Table 4: 10 classes, 449 NCSS): request/response models, an
+incremental parser providing the framing hook the generated
+Read-Request step needs, status codes and MIME types.
+"""
+
+from repro.http.headers import Headers
+from repro.http.mime import DEFAULT_TYPE, MIME_TYPES, guess_type
+from repro.http.parser import (
+    MAX_BODY_BYTES,
+    MAX_HEAD_BYTES,
+    parse_request,
+    split_request,
+)
+from repro.http.request import BadRequest, HttpRequest
+from repro.http.response import HttpResponse, error_response
+from repro.http.status import REASONS, reason_phrase
+
+__all__ = [
+    "BadRequest",
+    "DEFAULT_TYPE",
+    "Headers",
+    "HttpRequest",
+    "HttpResponse",
+    "MAX_BODY_BYTES",
+    "MAX_HEAD_BYTES",
+    "MIME_TYPES",
+    "REASONS",
+    "error_response",
+    "guess_type",
+    "parse_request",
+    "reason_phrase",
+    "split_request",
+]

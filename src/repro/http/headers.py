@@ -1,0 +1,68 @@
+"""Case-insensitive HTTP header collection preserving insertion order."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Headers"]
+
+
+class Headers:
+    """Ordered, case-insensitive multimap of header fields.
+
+    Lookups fold case per RFC 2616; the original spelling is preserved
+    for serialisation.
+    """
+
+    def __init__(self, items: Optional[Iterable[Tuple[str, str]]] = None):
+        self._items: List[Tuple[str, str]] = []
+        if items:
+            for name, value in items:
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        self._items.append((str(name), str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all occurrences of ``name`` with a single value."""
+        self.remove(name)
+        self.add(name, value)
+
+    def remove(self, name: str) -> None:
+        folded = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != folded]
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        folded = name.lower()
+        for n, v in self._items:
+            if n.lower() == folded:
+                return v
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        folded = name.lower()
+        return [v for n, v in self._items if n.lower() == folded]
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        mine = [(n.lower(), v) for n, v in self._items]
+        theirs = [(n.lower(), v) for n, v in other._items]
+        return mine == theirs
+
+    def encode(self) -> bytes:
+        """Wire form: one ``Name: value`` CRLF line per field."""
+        return b"".join(f"{n}: {v}\r\n".encode("latin-1")
+                        for n, v in self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Headers({self._items!r})"

@@ -1,0 +1,39 @@
+"""Extension -> MIME type mapping for static content serving."""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["MIME_TYPES", "DEFAULT_TYPE", "guess_type"]
+
+DEFAULT_TYPE = "application/octet-stream"
+
+MIME_TYPES = {
+    ".html": "text/html",
+    ".htm": "text/html",
+    ".txt": "text/plain",
+    ".css": "text/css",
+    ".js": "application/javascript",
+    ".json": "application/json",
+    ".xml": "text/xml",
+    ".gif": "image/gif",
+    ".jpg": "image/jpeg",
+    ".jpeg": "image/jpeg",
+    ".png": "image/png",
+    ".ico": "image/x-icon",
+    ".svg": "image/svg+xml",
+    ".pdf": "application/pdf",
+    ".zip": "application/zip",
+    ".gz": "application/gzip",
+    ".tar": "application/x-tar",
+    ".mp3": "audio/mpeg",
+    ".wav": "audio/x-wav",
+    ".mp4": "video/mp4",
+    ".class": "application/java-vm",
+}
+
+
+def guess_type(path: str) -> str:
+    """MIME type for ``path`` by extension (case-insensitive)."""
+    _, ext = os.path.splitext(path)
+    return MIME_TYPES.get(ext.lower(), DEFAULT_TYPE)

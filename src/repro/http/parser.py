@@ -1,0 +1,104 @@
+"""Incremental HTTP request parsing.
+
+Two layers:
+
+* :func:`split_request` — the framing predicate the N-Server's generic
+  Read-Request step needs: given a byte buffer, split one complete
+  request (head + Content-Length body) off the front, or report that
+  more bytes are required.
+* :func:`parse_request` — the Decode-Request step: bytes of exactly one
+  request -> :class:`~repro.http.request.HttpRequest`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.http.headers import Headers
+from repro.http.request import BadRequest, HttpRequest
+
+__all__ = ["split_request", "parse_request", "MAX_HEAD_BYTES", "MAX_BODY_BYTES"]
+
+#: guard rails against buffer-exhaustion from garbage input
+MAX_HEAD_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+def split_request(data: bytes) -> Optional[Tuple[bytes, bytes]]:
+    """Split one complete request off ``data``.
+
+    Returns ``(request_bytes, remainder)`` or ``None`` when incomplete.
+    Raises :class:`BadRequest` when the head or body exceeds the guard
+    limits (the caller answers 400/413 and closes).
+    """
+    end = data.find(b"\r\n\r\n")
+    if end == -1:
+        # Tolerate bare-LF clients the way Apache does.
+        end_lf = data.find(b"\n\n")
+        if end_lf == -1:
+            if len(data) > MAX_HEAD_BYTES:
+                raise BadRequest("request head too large", status=414)
+            return None
+        head_end = end_lf + 2
+    else:
+        head_end = end + 4
+    head = data[:head_end]
+    length = _content_length(head)
+    if length > MAX_BODY_BYTES:
+        raise BadRequest("request body too large", status=413)
+    total = head_end + length
+    if len(data) < total:
+        return None
+    return bytes(data[:total]), bytes(data[total:])
+
+
+def _content_length(head: bytes) -> int:
+    for line in head.split(b"\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                n = int(value.strip())
+            except ValueError:
+                raise BadRequest("malformed Content-Length") from None
+            if n < 0:
+                raise BadRequest("negative Content-Length")
+            return n
+    return 0
+
+
+def parse_request(raw: bytes) -> HttpRequest:
+    """Parse exactly one request's bytes into an :class:`HttpRequest`.
+
+    Raises :class:`BadRequest` on malformed input.  The request is *not*
+    validated against protocol rules here — call
+    :meth:`HttpRequest.validate` for that, so servers can choose their
+    strictness.
+    """
+    sep = b"\r\n\r\n" if b"\r\n\r\n" in raw else b"\n\n"
+    head, _, body = raw.partition(sep)
+    lines = head.replace(b"\r\n", b"\n").split(b"\n")
+    if not lines or not lines[0].strip():
+        raise BadRequest("empty request line")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise BadRequest(f"malformed request line {lines[0][:80]!r}")
+    try:
+        method = parts[0].decode("ascii")
+        target = parts[1].decode("ascii")
+        version = parts[2].decode("ascii")
+    except UnicodeDecodeError:
+        raise BadRequest("non-ASCII request line") from None
+    headers = Headers()
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        name, colon, value = line.partition(b":")
+        if not colon or not name.strip():
+            raise BadRequest(f"malformed header line {line[:80]!r}")
+        try:
+            headers.add(name.strip().decode("latin-1"),
+                        value.strip().decode("latin-1"))
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            raise BadRequest("undecodable header") from None
+    return HttpRequest(method=method.upper(), target=target,
+                       version=version.upper(), headers=headers, body=body)

@@ -1,0 +1,60 @@
+"""HTTP response builder."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from email.utils import formatdate
+from typing import Optional
+
+from repro.http.headers import Headers
+from repro.http.status import reason_phrase
+
+__all__ = ["HttpResponse", "error_response"]
+
+SERVER_TOKEN = "COPS-HTTP/1.0 (repro)"
+
+
+@dataclass
+class HttpResponse:
+    """A response ready for serialisation.
+
+    ``encode`` fills in Content-Length, Server and Date when absent, so
+    hook code can stay minimal.
+    """
+
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+    #: suppress the body on the wire (HEAD requests keep Content-Length)
+    head_only: bool = False
+
+    def encode(self, date: Optional[str] = None) -> bytes:
+        headers = Headers(list(self.headers))
+        if "Content-Length" not in headers:
+            headers.set("Content-Length", str(len(self.body)))
+        if "Server" not in headers:
+            headers.set("Server", SERVER_TOKEN)
+        if "Date" not in headers:
+            headers.set("Date", date if date is not None
+                        else formatdate(time.time(), usegmt=True))
+        status_line = (f"{self.version} {self.status} "
+                       f"{reason_phrase(self.status)}\r\n").encode("latin-1")
+        wire = status_line + headers.encode() + b"\r\n"
+        if not self.head_only:
+            wire += self.body
+        return wire
+
+
+def error_response(status: int, version: str = "HTTP/1.1",
+                   close: bool = False) -> HttpResponse:
+    """A minimal HTML error page for ``status``."""
+    reason = reason_phrase(status)
+    body = (f"<html><head><title>{status} {reason}</title></head>"
+            f"<body><h1>{status} {reason}</h1></body></html>").encode()
+    headers = Headers([("Content-Type", "text/html")])
+    if close:
+        headers.set("Connection", "close")
+    return HttpResponse(status=status, headers=headers, body=body,
+                        version=version)

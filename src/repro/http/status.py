@@ -1,0 +1,36 @@
+"""HTTP status codes and reason phrases (the subset a static-content
+server needs, per RFC 2616 — the HTTP/1.1 revision current when the
+paper was written)."""
+
+from __future__ import annotations
+
+__all__ = ["REASONS", "reason_phrase"]
+
+REASONS = {
+    100: "Continue",
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    206: "Partial Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Request Entity Too Large",
+    414: "Request-URI Too Long",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+
+def reason_phrase(code: int) -> str:
+    """Reason phrase for ``code`` (generic fallback for unknown codes)."""
+    return REASONS.get(code, "Unknown")

@@ -1,0 +1,110 @@
+"""Event-driven server runtime: the library layer generated N-Server
+frameworks import.
+
+Synthesises the four patterns from section II of the paper: Reactor
+(readiness selection + dispatch), Proactor and Asynchronous Completion
+Tokens (emulated non-blocking file I/O), and Acceptor-Connector
+(connection establishment).  Feature subsystems map to template options:
+scheduler (O8), overload (O9), profiling (O11), tracing (O10/O12),
+idle (O7).
+"""
+
+from repro.runtime.acceptor import Acceptor, Connector
+from repro.runtime.communicator import CLOSE, PENDING, Communicator, ServerHooks
+from repro.runtime.container import Container
+from repro.runtime.dispatcher import EventDispatcher
+from repro.runtime.event_source import (
+    EventSource,
+    EventSourceDecorator,
+    NullEventSource,
+    QueueEventSource,
+    SocketEventSource,
+    TimerEventSource,
+)
+from repro.runtime.events import (
+    AcceptEvent,
+    AsynchronousCompletionToken,
+    CompletionEvent,
+    ConnectEvent,
+    Event,
+    EventKind,
+    FileOpenEvent,
+    FileReadEvent,
+    ReadableEvent,
+    ShutdownEvent,
+    TimerEvent,
+    UserEvent,
+    WritableEvent,
+)
+from repro.runtime.file_io import AsyncFileIO
+from repro.runtime.handles import FileHandle, Handle, ListenHandle, SocketHandle
+from repro.runtime.idle import IdleConnectionReaper
+from repro.runtime.overload import OverloadController, Watermark
+from repro.runtime.processor import EventProcessor, ProcessorController
+from repro.runtime.profiling import NULL_PROFILER, NullProfiler, Profiler, ServerProfile
+from repro.runtime.scheduler import FifoEventQueue, QuotaPriorityQueue
+from repro.runtime.server import ReactorServer, RuntimeConfig
+from repro.runtime.tracing import (
+    NULL_LOG,
+    NULL_TRACER,
+    EventTracer,
+    NullLog,
+    NullTracer,
+    ServerLog,
+    TraceRecord,
+)
+
+__all__ = [
+    "Acceptor",
+    "AcceptEvent",
+    "AsyncFileIO",
+    "AsynchronousCompletionToken",
+    "CLOSE",
+    "Communicator",
+    "CompletionEvent",
+    "ConnectEvent",
+    "Connector",
+    "Container",
+    "Event",
+    "EventDispatcher",
+    "EventKind",
+    "EventProcessor",
+    "EventSource",
+    "EventSourceDecorator",
+    "EventTracer",
+    "FifoEventQueue",
+    "FileHandle",
+    "FileOpenEvent",
+    "FileReadEvent",
+    "Handle",
+    "IdleConnectionReaper",
+    "ListenHandle",
+    "NULL_LOG",
+    "NULL_PROFILER",
+    "NULL_TRACER",
+    "NullEventSource",
+    "NullLog",
+    "NullProfiler",
+    "NullTracer",
+    "OverloadController",
+    "PENDING",
+    "ProcessorController",
+    "Profiler",
+    "QueueEventSource",
+    "QuotaPriorityQueue",
+    "ReactorServer",
+    "ReadableEvent",
+    "RuntimeConfig",
+    "ServerHooks",
+    "ServerLog",
+    "ServerProfile",
+    "ShutdownEvent",
+    "SocketEventSource",
+    "SocketHandle",
+    "TimerEvent",
+    "TimerEventSource",
+    "TraceRecord",
+    "UserEvent",
+    "Watermark",
+    "WritableEvent",
+]

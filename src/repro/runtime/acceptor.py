@@ -1,0 +1,99 @@
+"""Acceptor-Connector (Schmidt): separates connection establishment from
+data communication.
+
+The Acceptor owns the listening socket, consumes
+:class:`~repro.runtime.events.AcceptEvent`, asks the overload controller
+for permission (O9), wraps each accepted socket in a *Communicator* via
+the factory callback, and registers it with the Event Source.  The
+Connector establishes outbound connections (used by COPS-FTP for active
+data connections).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Callable, Optional
+
+from repro.runtime.event_source import SocketEventSource
+from repro.runtime.events import AcceptEvent
+from repro.runtime.handles import ListenHandle, SocketHandle
+from repro.runtime.overload import OverloadController
+from repro.runtime.profiling import NULL_PROFILER
+
+__all__ = ["Acceptor", "Connector"]
+
+
+class Acceptor:
+    """Accept-side half of the Acceptor-Connector pattern.
+
+    ``on_connection(handle)`` is the generated framework's hook: it
+    builds the Communicator for the new connection.  The Acceptor keeps
+    accepting in a loop per AcceptEvent (a single readiness notification
+    may cover several queued connections).
+    """
+
+    def __init__(
+        self,
+        listen: ListenHandle,
+        source: SocketEventSource,
+        on_connection: Callable[[SocketHandle], None],
+        overload: Optional[OverloadController] = None,
+        profiler=NULL_PROFILER,
+        clock=time.monotonic,
+    ):
+        self.listen = listen
+        self.source = source
+        self.on_connection = on_connection
+        self.overload = overload
+        self.profiler = profiler
+        self.clock = clock
+        self.accepted = 0
+        self.postponed = 0
+
+    def open(self) -> None:
+        """Register the listen handle so AcceptEvents start flowing."""
+        self.source.register(self.listen)
+
+    def handle(self, event: AcceptEvent) -> None:
+        """Drain the kernel accept queue (subject to overload control)."""
+        while True:
+            if self.overload is not None and not self.overload.accepting():
+                # Postpone: leave remaining connections in the kernel
+                # backlog; they will surface as another AcceptEvent.
+                self.postponed += 1
+                return
+            handle = self.listen.try_accept()
+            if handle is None:
+                return
+            handle.last_activity = self.clock()
+            self.accepted += 1
+            self.profiler.connection_accepted()
+            if self.overload is not None:
+                self.overload.connection_opened()
+            self.on_connection(handle)
+            self.source.register(handle)
+
+    def close(self) -> None:
+        self.source.deregister(self.listen)
+        self.listen.close()
+
+
+class Connector:
+    """Connect-side half: synchronous establishment of outbound
+    connections, returning a non-blocking :class:`SocketHandle`.
+
+    The paper's generated servers use this from Event Processor threads
+    (where blocking briefly is acceptable); a fully asynchronous connect
+    would surface as a :class:`~repro.runtime.events.ConnectEvent`.
+    """
+
+    def __init__(self, timeout: float = 5.0, handle_cls: type = SocketHandle):
+        self.timeout = timeout
+        self.handle_cls = handle_cls
+        self.connected = 0
+
+    def connect(self, host: str, port: int) -> SocketHandle:
+        sock = socket.create_connection((host, port), timeout=self.timeout)
+        self.connected += 1
+        return self.handle_cls(sock)

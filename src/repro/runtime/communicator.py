@@ -1,0 +1,297 @@
+"""Communicator Component: one instance per network connection.
+
+Implements the paper's five-step request handling cycle (Fig 1):
+
+    Read Request -> Decode Request -> Handle Request -> Encode Reply
+    -> Send Reply
+
+and the three-step variant without encoding/decoding (Fig 2, O3=No).
+Read Request and Send Reply are generic (the framework provides them);
+Decode / Handle / Encode are the application-dependent hook methods the
+programmer writes (:class:`ServerHooks`).
+
+The Handle step may be asynchronous: a hook returns :data:`PENDING`
+after arranging for ``conn.complete_request(result)`` to be called later
+(e.g. from a :class:`~repro.runtime.file_io.AsyncFileIO` completion).
+Replies are always sent in request order per connection, matching
+HTTP/1.1 persistent-connection semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional, Tuple
+
+from repro.runtime.events import Event
+from repro.runtime.handles import SocketHandle
+from repro.runtime.profiling import NULL_PROFILER
+from repro.runtime.tracing import NULL_LOG, NULL_TRACER
+
+__all__ = ["PENDING", "CLOSE", "ServerHooks", "Communicator"]
+
+#: sentinel a handle-hook returns when the reply will arrive asynchronously
+PENDING = object()
+#: sentinel reply meaning "close this connection without replying"
+CLOSE = object()
+
+
+class ServerHooks:
+    """The application-specific hook methods (the only code a programmer
+    writes when using the N-Server, per section IV).
+
+    Subclass and override; the defaults implement an echo server with
+    newline framing and no decode/encode steps.
+    """
+
+    def split_request(self, data: bytes) -> Optional[Tuple[bytes, bytes]]:
+        """Framing: split one complete request off the front of ``data``.
+
+        Return ``(request_bytes, remainder)`` or ``None`` when no
+        complete request is buffered yet.
+        """
+        if b"\n" not in data:
+            return None
+        line, rest = data.split(b"\n", 1)
+        return line + b"\n", rest
+
+    # -- the three application-dependent steps --------------------------
+    def decode(self, raw: bytes, conn: "Communicator") -> Any:
+        """Decode Request (only called when the template generated the
+        O3=Yes pipeline)."""
+        return raw
+
+    def handle(self, request: Any, conn: "Communicator") -> Any:
+        """Handle Request: return the result, :data:`PENDING` for an
+        asynchronous reply, or :data:`CLOSE` to drop the connection."""
+        return request
+
+    def encode(self, result: Any, conn: "Communicator") -> bytes:
+        """Encode Reply (O3=Yes only)."""
+        return result if isinstance(result, (bytes, bytearray)) else bytes(result)
+
+    # -- connection lifecycle --------------------------------------------
+    def on_connect(self, conn: "Communicator") -> None:
+        """Called once when the connection is established."""
+
+    def on_close(self, conn: "Communicator") -> None:
+        """Called once when the connection is torn down."""
+
+    def classify_priority(self, conn: "Communicator") -> int:
+        """Event-scheduling hook (O8): priority for this connection's
+        events.  The Fig 5 experiment overrides this (13 added lines in
+        the paper's COPS-HTTP)."""
+        return 0
+
+
+class Communicator:
+    """Per-connection state machine driving the request cycle.
+
+    The generated framework routes ReadableEvent/WritableEvent for the
+    connection's handle to :meth:`on_readable` / :meth:`on_writable`
+    (possibly via an Event Processor).  Pipeline steps for a request are
+    chained inline — the steps are CPU work; only the *Handle* step may
+    detour through asynchronous services.
+    """
+
+    def __init__(
+        self,
+        handle: SocketHandle,
+        hooks: ServerHooks,
+        *,
+        use_codec: bool = True,
+        on_teardown: Optional[Callable[["Communicator"], None]] = None,
+        update_interest: Optional[Callable[[SocketHandle], None]] = None,
+        profiler=NULL_PROFILER,
+        tracer=NULL_TRACER,
+        log=NULL_LOG,
+        clock=time.monotonic,
+    ):
+        self.handle = handle
+        self.hooks = hooks
+        self.use_codec = use_codec
+        self.on_teardown = on_teardown
+        self.update_interest = update_interest
+        self.profiler = profiler
+        self.tracer = tracer
+        self.log = log
+        self.clock = clock
+        self.in_buffer = bytearray()
+        # Ticket machinery for asynchronous (PENDING) replies.  Guarded by
+        # a lock because completions arrive from service threads that may
+        # race with the pipeline thread still inside the handle hook.
+        self._ticket_lock = threading.Lock()
+        self._awaiting: deque = deque()   # tickets in request order
+        self._pending: set = set()        # handle() returned PENDING
+        self._early: dict = {}            # completed before PENDING was seen
+        self.priority = 0
+        self.closed = False
+        self.close_after_flush = False
+        #: application scratch space (sessions, auth state, ...)
+        self.context: dict = {}
+        self.requests_completed = 0
+        self.priority = hooks.classify_priority(self)
+        hooks.on_connect(self)
+
+    # -- event entry points -------------------------------------------------
+    def on_readable(self, event: Event = None) -> None:
+        """Read Request step: drain the socket, then run the pipeline for
+        every complete request now buffered."""
+        if self.closed:
+            return
+        chunk = self.handle.try_recv()
+        if chunk is None:
+            return
+        if chunk == b"":
+            self.close()
+            return
+        self.handle.last_activity = self.clock()
+        self.profiler.bytes_read(len(chunk))
+        self.tracer.trace("read", f"{self.handle.name} +{len(chunk)}B")
+        self.in_buffer.extend(chunk)
+        self._pump_requests()
+
+    def on_writable(self, event: Event = None) -> None:
+        """Send Reply step: flush buffered output."""
+        if self.closed:
+            return
+        sent = self.handle.try_send()
+        if sent:
+            self.handle.last_activity = self.clock()
+            self.profiler.bytes_sent(sent)
+            self.tracer.trace("send", f"{self.handle.name} -{sent}B")
+        if self.handle.closed:
+            self.close()
+            return
+        self._sync_interest()
+        if self.close_after_flush and not self.handle.out_buffer:
+            self.close()
+
+    # -- pipeline -----------------------------------------------------------
+    def _pump_requests(self) -> None:
+        while not self.closed:
+            split = self.hooks.split_request(bytes(self.in_buffer))
+            if split is None:
+                return
+            raw, rest = split
+            self.in_buffer = bytearray(rest)
+            self._run_pipeline(raw)
+
+    # -- overridable steps (generated CommunicatorComponents replace
+    # these with the generated step-handler chain) ------------------------
+    def step_decode(self, raw: bytes):
+        """Decode Request step (identity when the codec is disabled)."""
+        return self.hooks.decode(raw, self) if self.use_codec else raw
+
+    def step_handle(self, request):
+        """Handle Request step."""
+        return self.hooks.handle(request, self)
+
+    def step_encode(self, result):
+        """Encode Reply step (identity when the codec is disabled)."""
+        return self.hooks.encode(result, self) if self.use_codec else result
+
+    def _run_pipeline(self, raw: bytes) -> None:
+        ticket = object()
+        with self._ticket_lock:
+            self._awaiting.append(ticket)
+        try:
+            request = self.step_decode(raw)
+            self.tracer.trace("decode", f"{self.handle.name} {len(raw)}B")
+            result = self.step_handle(request)
+        except Exception as exc:  # noqa: BLE001 - hook errors end the connection
+            self.profiler.error()
+            self.log.error(f"pipeline error on {self.handle.name}: {exc!r}")
+            with self._ticket_lock:
+                self._awaiting.clear()
+                self._pending.clear()
+                self._early.clear()
+            self.close()
+            return
+        if result is PENDING:
+            with self._ticket_lock:
+                if ticket in self._early:
+                    # The completion raced ahead of the PENDING return:
+                    # deliver it now on this thread.
+                    result = self._early.pop(ticket)
+                else:
+                    self._pending.add(ticket)
+                    return
+        self._finish(ticket, result)
+
+    def complete_request(self, result: Any) -> None:
+        """Called by asynchronous services to deliver a pending result
+        (completions are per-connection FIFO, matching request order)."""
+        with self._ticket_lock:
+            if not self._awaiting:
+                return
+            ticket = self._awaiting[0]
+            if ticket not in self._pending:
+                # handle() has not returned PENDING yet — stash the result
+                # so the pipeline thread finishes it when it does.
+                self._early[ticket] = result
+                return
+            self._pending.discard(ticket)
+        self._finish(ticket, result)
+
+    def _finish(self, ticket: Any, result: Any) -> None:
+        with self._ticket_lock:
+            try:
+                self._awaiting.remove(ticket)
+            except ValueError:
+                pass
+        if self.closed:
+            return
+        if result is CLOSE:
+            self.close()
+            return
+        try:
+            data = self.step_encode(result)
+        except Exception as exc:  # noqa: BLE001
+            self.profiler.error()
+            self.log.error(f"encode error on {self.handle.name}: {exc!r}")
+            self.close()
+            return
+        self.requests_completed += 1
+        self.profiler.request_handled()
+        self.send_bytes(data)
+
+    # -- output ---------------------------------------------------------------
+    def send_bytes(self, data, close_after: bool = False) -> None:
+        """Queue reply bytes and opportunistically flush."""
+        if self.closed:
+            return
+        if data:
+            self.handle.out_buffer.extend(data)
+        if close_after:
+            self.close_after_flush = True
+        sent = self.handle.try_send()
+        if sent:
+            self.profiler.bytes_sent(sent)
+            self.tracer.trace("send", f"{self.handle.name} -{sent}B")
+            self.handle.last_activity = self.clock()
+        if self.handle.closed:
+            self.close()
+            return
+        self._sync_interest()
+        if self.close_after_flush and not self.handle.out_buffer:
+            self.close()
+
+    def _sync_interest(self) -> None:
+        if self.update_interest is not None and not self.closed:
+            self.update_interest(self.handle)
+
+    # -- teardown ----------------------------------------------------------
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.tracer.trace("close", self.handle.name)
+        try:
+            self.hooks.on_close(self)
+        finally:
+            if self.on_teardown is not None:
+                self.on_teardown(self)
+            self.handle.close()
+            self.profiler.connection_closed()

@@ -1,0 +1,306 @@
+"""Event Sources (Decorator pattern), as section IV describes:
+
+    "an Event Source component that complies with the Decorator pattern
+    is added.  Besides managing multiple event sources, it is also
+    responsible for registering and deregistering Event Handlers and
+    polling ready events."
+
+The concrete base source is :class:`SocketEventSource` (Java-NIO-style
+readiness selection via :mod:`selectors`).  Additional sources wrap an
+inner source decorator-style — :class:`TimerEventSource` and
+:class:`QueueEventSource` merge their own ready events into whatever the
+inner source returns, and clamp the poll timeout so their events are not
+delayed.  New kinds of sources are added by writing one more decorator,
+which is the extensibility argument the paper makes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import selectors
+import threading
+import time
+from collections import deque
+from typing import Callable, List, Optional
+
+from repro.runtime.events import (
+    AcceptEvent,
+    Event,
+    ReadableEvent,
+    TimerEvent,
+    WritableEvent,
+)
+from repro.runtime.handles import Handle, ListenHandle, SocketHandle
+
+__all__ = [
+    "EventSource",
+    "NullEventSource",
+    "SocketEventSource",
+    "EventSourceDecorator",
+    "TimerEventSource",
+    "QueueEventSource",
+]
+
+
+class EventSource:
+    """Interface: poll for ready events, manage handle registration."""
+
+    def poll(self, timeout: Optional[float] = None) -> List[Event]:
+        raise NotImplementedError
+
+    def register(self, handle: Handle, **interest) -> None:
+        raise NotImplementedError
+
+    def deregister(self, handle: Handle) -> None:
+        raise NotImplementedError
+
+    def wakeup(self) -> None:
+        """Interrupt a blocking poll from another thread (no-op default)."""
+
+    def close(self) -> None:
+        pass
+
+
+class NullEventSource(EventSource):
+    """Terminal inner source for decorator chains with no socket base."""
+
+    def poll(self, timeout: Optional[float] = None) -> List[Event]:
+        if timeout:
+            time.sleep(min(timeout, 0.01))
+        return []
+
+    def register(self, handle: Handle, **interest) -> None:
+        raise TypeError("NullEventSource accepts no handles")
+
+    def deregister(self, handle: Handle) -> None:
+        raise TypeError("NullEventSource accepts no handles")
+
+
+class SocketEventSource(EventSource):
+    """Readiness selection over socket handles.
+
+    * ``ListenHandle`` registration yields :class:`AcceptEvent`.
+    * ``SocketHandle`` registration yields :class:`ReadableEvent` always
+      and :class:`WritableEvent` while the handle has buffered output.
+
+    A self-pipe (socketpair) lets other threads interrupt a blocking
+    poll — needed when an Event Processor thread queues output bytes on
+    a connection and the dispatcher must start watching writability.
+    """
+
+    def __init__(self):
+        self._selector = selectors.DefaultSelector()
+        # RLock: poll and mask updates may nest through callbacks.
+        self._lock = threading.RLock()
+        self._handles: dict = {}
+        self._paused: set = set()
+        self._unwatched: set = set()
+        import socket as _socket
+
+        self._wake_recv, self._wake_send = _socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, None)
+        self._closed = False
+
+    def register(self, handle: Handle, **interest) -> None:
+        if not isinstance(handle, (SocketHandle, ListenHandle)):
+            raise TypeError(f"cannot select on {type(handle).__name__}")
+        with self._lock:
+            self._handles[handle.fileno()] = handle
+            self._selector.register(handle.fileno(), selectors.EVENT_READ, handle)
+
+    def deregister(self, handle: Handle) -> None:
+        with self._lock:
+            fd = handle.fileno()
+            self._handles.pop(fd, None)
+            self._paused.discard(id(handle))
+            self._unwatched.discard(fd)
+            try:
+                self._selector.unregister(fd)
+            except (KeyError, ValueError):
+                pass
+
+    def update_interest(self, handle: SocketHandle) -> None:
+        """Re-arm write interest to match the handle's buffered output."""
+        self._apply_mask(handle)
+
+    def pause(self, handle: SocketHandle) -> None:
+        """One-shot semantics: stop watching readability until resumed.
+
+        Called by the dispatcher when it hands a ReadableEvent to the
+        Event Processor, so (a) level-triggered readiness does not storm
+        duplicate events while the processor catches up and (b) two
+        processor threads never run the same connection concurrently.
+        """
+        with self._lock:
+            self._paused.add(id(handle))
+        self._apply_mask(handle)
+
+    def resume(self, handle: SocketHandle) -> None:
+        """Re-arm readability after the processor finished the event."""
+        with self._lock:
+            self._paused.discard(id(handle))
+        if handle.closed:
+            return
+        self._apply_mask(handle)
+        self.wakeup()
+
+    def _apply_mask(self, handle: SocketHandle) -> None:
+        if handle.closed:
+            return
+        with self._lock:
+            fd = handle.fileno()
+            if fd not in self._handles:
+                return  # deregistered entirely
+            read = id(handle) not in self._paused
+            mask = (selectors.EVENT_READ if read else 0) | \
+                   (selectors.EVENT_WRITE if handle.wants_write else 0)
+            watched = fd not in self._unwatched
+            try:
+                if mask and watched:
+                    self._selector.modify(fd, mask, handle)
+                elif mask:
+                    # selectors cannot hold a zero mask, so a fully-paused
+                    # fd was unregistered; re-add it now.
+                    self._selector.register(fd, mask, handle)
+                    self._unwatched.discard(fd)
+                elif watched:
+                    self._selector.unregister(fd)
+                    self._unwatched.add(fd)
+            except (KeyError, ValueError, OSError):
+                pass
+
+    def wakeup(self) -> None:
+        try:
+            self._wake_send.send(b"\x00")
+        except OSError:  # pragma: no cover - closing race
+            pass
+
+    def poll(self, timeout: Optional[float] = None) -> List[Event]:
+        if self._closed:
+            return []
+        ready: List[Event] = []
+        for key, mask in self._selector.select(timeout):
+            if key.data is None:  # the wakeup pipe
+                try:
+                    while self._wake_recv.recv(4096):
+                        pass
+                except BlockingIOError:
+                    pass
+                continue
+            handle = key.data
+            if isinstance(handle, ListenHandle):
+                ready.append(AcceptEvent(handle=handle))
+            else:
+                if mask & selectors.EVENT_READ:
+                    ready.append(ReadableEvent(handle=handle))
+                if mask & selectors.EVENT_WRITE:
+                    ready.append(WritableEvent(handle=handle))
+        return ready
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._selector.close()
+        self._wake_recv.close()
+        self._wake_send.close()
+
+
+class EventSourceDecorator(EventSource):
+    """Base decorator: defaults delegate everything to the inner source."""
+
+    def __init__(self, inner: EventSource):
+        self.inner = inner
+
+    def poll(self, timeout: Optional[float] = None) -> List[Event]:
+        return self.inner.poll(timeout)
+
+    def register(self, handle: Handle, **interest) -> None:
+        self.inner.register(handle, **interest)
+
+    def deregister(self, handle: Handle) -> None:
+        self.inner.deregister(handle)
+
+    def wakeup(self) -> None:
+        self.inner.wakeup()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class TimerEventSource(EventSourceDecorator):
+    """Adds one-shot timers.  ``schedule(delay, payload)`` returns a
+    cancellation token; fired timers surface as :class:`TimerEvent`."""
+
+    def __init__(self, inner: EventSource, clock=time.monotonic):
+        super().__init__(inner)
+        self._clock = clock
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._cancelled: set = set()
+        self._lock = threading.Lock()
+
+    def schedule(self, delay: float, payload=None) -> int:
+        if delay < 0:
+            raise ValueError("negative timer delay")
+        token = next(self._seq)
+        with self._lock:
+            heapq.heappush(self._heap, (self._clock() + delay, token, payload))
+        self.wakeup()
+        return token
+
+    def cancel(self, token: int) -> None:
+        with self._lock:
+            self._cancelled.add(token)
+
+    def _next_deadline(self) -> Optional[float]:
+        with self._lock:
+            while self._heap and self._heap[0][1] in self._cancelled:
+                self._cancelled.discard(heapq.heappop(self._heap)[1])
+            return self._heap[0][0] if self._heap else None
+
+    def poll(self, timeout: Optional[float] = None) -> List[Event]:
+        deadline = self._next_deadline()
+        if deadline is not None:
+            remaining = max(0.0, deadline - self._clock())
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        events = self.inner.poll(timeout)
+        now = self._clock()
+        with self._lock:
+            while self._heap and self._heap[0][0] <= now:
+                _, token, payload = heapq.heappop(self._heap)
+                if token in self._cancelled:
+                    self._cancelled.discard(token)
+                    continue
+                events.append(TimerEvent(payload=payload))
+        return events
+
+
+class QueueEventSource(EventSourceDecorator):
+    """Adds application-posted events (the paper's "other application
+    components" source).  ``post`` is thread-safe and wakes the poll."""
+
+    def __init__(self, inner: EventSource):
+        super().__init__(inner)
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+
+    def post(self, event: Event) -> None:
+        with self._lock:
+            self._queue.append(event)
+        self.wakeup()
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def poll(self, timeout: Optional[float] = None) -> List[Event]:
+        with self._lock:
+            has_pending = bool(self._queue)
+        events = self.inner.poll(0.0 if has_pending else timeout)
+        with self._lock:
+            while self._queue:
+                events.append(self._queue.popleft())
+        return events

@@ -1,0 +1,119 @@
+"""Emulated non-blocking file I/O (options O4, O6).
+
+Java (and POSIX) offer no true non-blocking disk reads, so the paper
+emulates them: "non-blocking file I/O operations are emulated using a
+pool of threads".  This is the Proactor + Asynchronous Completion Token
+part of the N-Server: callers issue ``read_file(path, act)`` and get the
+result later as a :class:`FileReadEvent` posted to the completion sink
+(typically the reactive Event Processor's queue, so completions are
+handled on the same path as socket events).
+
+When a :class:`~repro.cache.FileCache` is attached (O6), cache hits
+complete immediately — still *asynchronously* from the caller's view,
+via the sink — and misses populate the cache after the disk read.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.cache import FileCache
+from repro.runtime.events import (
+    AsynchronousCompletionToken,
+    CompletionEvent,
+    FileReadEvent,
+)
+from repro.runtime.scheduler import FifoEventQueue
+
+__all__ = ["AsyncFileIO"]
+
+
+class AsyncFileIO:
+    """Thread-pool emulation of non-blocking file reads.
+
+    ``sink(event)`` receives every completion; it must be thread-safe
+    (Event Processor ``submit`` and ``QueueEventSource.post`` both are).
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[CompletionEvent], None],
+        threads: int = 2,
+        cache: Optional[FileCache] = None,
+        root: Optional[str] = None,
+    ):
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.sink = sink
+        self.cache = cache
+        self.root = root
+        self._queue = FifoEventQueue()
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"file-io-{i}")
+            for i in range(threads)
+        ]
+        self._started = False
+        self.reads = 0
+        self.cache_hits = 0
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for t in self._threads:
+            t.start()
+
+    def stop(self) -> None:
+        self._queue.close()
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+    # -- operations ---------------------------------------------------------
+    def read_file(self, path: str,
+                  act: Optional[AsynchronousCompletionToken] = None,
+                  priority: int = 0) -> None:
+        """Request the full contents of ``path``; completion arrives at
+        the sink as a :class:`FileReadEvent` whose payload is the bytes
+        (or whose ``error`` is the raising exception)."""
+        act = act or AsynchronousCompletionToken()
+        if self.cache is not None and self.cache.contains(path):
+            got = self.cache.get_file(path)
+            self.cache_hits += 1
+            self.sink(FileReadEvent(token=act, payload=got.payload,
+                                    priority=priority))
+            return
+        self._queue.push((path, act, priority))
+
+    def _load(self, path: str) -> bytes:
+        if self.cache is not None:
+            return self.cache.get_file(path).payload
+        full = path
+        if self.root is not None:
+            import os
+
+            root = os.path.abspath(self.root)
+            full = os.path.abspath(os.path.join(root, path.lstrip("/")))
+            if not full.startswith(root):
+                raise FileNotFoundError(path)
+        with open(full, "rb") as fh:
+            return fh.read()
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.pop(timeout=0.25)
+            if item is None:
+                if self._queue.closed:
+                    return
+                continue
+            path, act, priority = item
+            self.reads += 1
+            try:
+                data = self._load(path)
+            except OSError as exc:
+                self.sink(FileReadEvent(token=act, error=exc,
+                                        priority=priority))
+            else:
+                self.sink(FileReadEvent(token=act, payload=data,
+                                        priority=priority))

@@ -1,0 +1,179 @@
+"""Handles: the I/O endpoints events refer to.
+
+A *Handle* wraps an OS-level endpoint (socket, file) behind the small
+interface the dispatcher and event handlers need.  Table 2 lists
+``Handle`` (whose generated body depends on O1) and ``FileHandle``
+(exists when O4=Asynchronous, body depends on O6).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from typing import Optional
+
+__all__ = ["Handle", "SocketHandle", "ListenHandle", "FileHandle"]
+
+
+class Handle:
+    """Base handle: identity plus liveness."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def fileno(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<{type(self).__name__} {self.name or id(self):x} {state}>"
+
+
+class SocketHandle(Handle):
+    """A connected, non-blocking TCP socket."""
+
+    def __init__(self, sock: socket.socket, name: str = ""):
+        super().__init__(name or _peer_name(sock))
+        self.sock = sock
+        sock.setblocking(False)
+        #: bytes produced by the application, waiting for writability
+        self.out_buffer = bytearray()
+        #: monotonic timestamp of the last I/O (idle reaping, option O7)
+        self.last_activity = 0.0
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def try_recv(self, max_bytes: int = 65536) -> Optional[bytes]:
+        """Non-blocking read: bytes, b'' on orderly EOF, None when the
+        socket would block."""
+        try:
+            return self.sock.recv(max_bytes)
+        except BlockingIOError:
+            return None
+        except (ConnectionResetError, BrokenPipeError):
+            return b""
+
+    def try_send(self) -> int:
+        """Flush as much of ``out_buffer`` as the kernel accepts; returns
+        bytes sent.  Raises nothing: reset peers count as flushed-zero
+        with the handle closed."""
+        if not self.out_buffer:
+            return 0
+        try:
+            n = self.sock.send(bytes(self.out_buffer))
+        except BlockingIOError:
+            return 0
+        except (ConnectionResetError, BrokenPipeError):
+            self.close()
+            return 0
+        del self.out_buffer[:n]
+        return n
+
+    @property
+    def wants_write(self) -> bool:
+        return bool(self.out_buffer) and not self._closed
+
+    def close(self) -> None:
+        if not self._closed:
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+        super().close()
+
+
+class ListenHandle(Handle):
+    """A listening TCP socket (the Acceptor's handle).
+
+    ``handle_cls`` lets generated frameworks wrap accepted sockets in
+    their own Handle subclass (Table 2's generated ``Handle``).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 backlog: int = 128, handle_cls: type = None):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(backlog)
+        sock.setblocking(False)
+        self.sock = sock
+        self.backlog = backlog
+        self.handle_cls = handle_cls or SocketHandle
+        super().__init__(name=f"listen:{self.address[1]}")
+
+    @property
+    def address(self) -> tuple:
+        return self.sock.getsockname()
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def try_accept(self) -> Optional[SocketHandle]:
+        """Accept one pending connection, or None when none is pending."""
+        try:
+            conn, _addr = self.sock.accept()
+        except BlockingIOError:
+            return None
+        return self.handle_cls(conn)
+
+    def close(self) -> None:
+        if not self._closed:
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        super().close()
+
+
+class FileHandle(Handle):
+    """A disk file opened for reading through the Proactor emulation.
+
+    File operations block, so FileHandles are only touched from the file
+    I/O thread pool (:mod:`repro.runtime.file_io`); a lock guards the
+    position against concurrent reads on the same handle.
+    """
+
+    def __init__(self, path: str):
+        super().__init__(name=path)
+        self.path = path
+        self._fh = open(path, "rb")
+        self._lock = threading.Lock()
+        self.size = os.fstat(self._fh.fileno()).st_size
+
+    def fileno(self) -> int:
+        return self._fh.fileno()
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        with self._lock:
+            self._fh.seek(offset)
+            return self._fh.read(length)
+
+    def read_all(self) -> bytes:
+        return self.read_at(0, self.size)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+        super().close()
+
+
+def _peer_name(sock: socket.socket) -> str:
+    try:
+        host, port = sock.getpeername()[:2]
+        return f"{host}:{port}"
+    except OSError:
+        return "unconnected"

@@ -1,0 +1,97 @@
+"""Termination of long-idle connections (N-Server option O7).
+
+"Long-idle connections may consume unnecessary resources and degrade the
+performance of network server applications.  The N-Server generates code
+that is able to automatically terminate these connections."
+
+The reaper periodically scans registered connections and closes any
+whose ``last_activity`` is older than the idle limit, invoking the
+framework's close callback so the Communicator is torn down properly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.runtime.handles import SocketHandle
+
+__all__ = ["IdleConnectionReaper"]
+
+
+class IdleConnectionReaper:
+    """Scan-and-close reaper for idle connections.
+
+    Works on any object exposing ``last_activity`` and ``closed`` —
+    real :class:`SocketHandle` instances or the simulator's connection
+    records alike.
+    """
+
+    def __init__(self, idle_limit: float,
+                 on_idle: Callable[[object], None],
+                 clock=time.monotonic,
+                 scan_interval: Optional[float] = None):
+        if idle_limit <= 0:
+            raise ValueError("idle_limit must be positive")
+        self.idle_limit = idle_limit
+        self.on_idle = on_idle
+        self.clock = clock
+        self.scan_interval = scan_interval if scan_interval is not None \
+            else max(idle_limit / 4.0, 0.01)
+        self._lock = threading.Lock()
+        self._watched: Dict[int, object] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.reaped = 0
+
+    # -- registration -------------------------------------------------------
+    def watch(self, handle) -> None:
+        with self._lock:
+            self._watched[id(handle)] = handle
+
+    def unwatch(self, handle) -> None:
+        with self._lock:
+            self._watched.pop(id(handle), None)
+
+    @property
+    def watched_count(self) -> int:
+        with self._lock:
+            return len(self._watched)
+
+    # -- scanning -----------------------------------------------------------
+    def scan(self) -> int:
+        """One pass; returns how many connections were reaped."""
+        now = self.clock()
+        with self._lock:
+            victims = [h for h in self._watched.values()
+                       if not getattr(h, "closed", False)
+                       and now - h.last_activity > self.idle_limit]
+            for h in victims:
+                self._watched.pop(id(h), None)
+            # Also forget handles closed by other paths.
+            for key, h in list(self._watched.items()):
+                if getattr(h, "closed", False):
+                    self._watched.pop(key, None)
+        for h in victims:
+            self.reaped += 1
+            self.on_idle(h)
+        return len(victims)
+
+    # -- background thread (real-socket deployments) -------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="idle-reaper")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.scan_interval):
+            self.scan()

@@ -1,0 +1,102 @@
+"""Automatic overload control (N-Server option O9).
+
+The paper provides two mechanisms:
+
+1. a cap on simultaneous connections (the trivial one multiprogramming
+   servers get for free from their bounded process pool);
+2. watermark control: the generated code "queries the length of multiple
+   queues.  Each queue stores events of certain types.  If there is a
+   queue whose length exceeds its specified high watermark, then new
+   connection requests are postponed until the length drops below a
+   specified low watermark."
+
+Fig 6 uses mechanism 2 with high=20 / low=5 on the reactive Event
+Processor queue.  :class:`OverloadController` implements both; the
+Acceptor asks :meth:`accepting` before taking new connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = ["Watermark", "OverloadController"]
+
+
+@dataclass
+class Watermark:
+    """Hysteresis pair for one watched queue."""
+
+    high: int
+    low: int
+
+    def __post_init__(self):
+        if self.low < 0 or self.high <= self.low:
+            raise ValueError(
+                f"need 0 <= low < high, got low={self.low} high={self.high}")
+
+
+class OverloadController:
+    """Watermark-based admission control over any number of queues.
+
+    Queues are registered with a name, a length probe (callable) and a
+    :class:`Watermark`.  The controller latches *overloaded* state per
+    queue: it trips when length > high and clears only when
+    length < low (hysteresis, so accepts don't flap).
+    """
+
+    def __init__(self, max_connections: Optional[int] = None):
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        self.max_connections = max_connections
+        self._probes: Dict[str, Callable[[], int]] = {}
+        self._marks: Dict[str, Watermark] = {}
+        self._tripped: Dict[str, bool] = {}
+        #: number of currently-open connections, maintained by the caller
+        self.open_connections = 0
+        #: accounting for the experiment harness
+        self.postponed_accepts = 0
+
+    def watch(self, name: str, probe: Callable[[], int], mark: Watermark) -> None:
+        """Register a queue to watch.  ``probe()`` must return its length."""
+        self._probes[name] = probe
+        self._marks[name] = mark
+        self._tripped[name] = False
+
+    def unwatch(self, name: str) -> None:
+        self._probes.pop(name, None)
+        self._marks.pop(name, None)
+        self._tripped.pop(name, None)
+
+    # -- connection accounting (mechanism 1) -----------------------------
+    def connection_opened(self) -> None:
+        self.open_connections += 1
+
+    def connection_closed(self) -> None:
+        self.open_connections = max(0, self.open_connections - 1)
+
+    # -- the admission decision -------------------------------------------
+    def accepting(self) -> bool:
+        """May the Acceptor take a new connection right now?"""
+        if (self.max_connections is not None
+                and self.open_connections >= self.max_connections):
+            self.postponed_accepts += 1
+            return False
+        for name, probe in self._probes.items():
+            mark = self._marks[name]
+            length = probe()
+            if self._tripped[name]:
+                if length < mark.low:
+                    self._tripped[name] = False
+                else:
+                    self.postponed_accepts += 1
+                    return False
+            elif length > mark.high:
+                self._tripped[name] = True
+                self.postponed_accepts += 1
+                return False
+        return True
+
+    def overloaded_queues(self) -> list:
+        """Names of queues currently in the tripped state."""
+        return [name for name, tripped in self._tripped.items() if tripped]

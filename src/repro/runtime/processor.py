@@ -1,0 +1,206 @@
+"""Event Processor and Processor Controller (options O2, O5, O8).
+
+The Event Processor is the paper's extension of the Reactor for multiple
+processors: "An Event Processor contains an event queue and a pool of
+threads that operate collaboratively to process ready events."  The
+Event Dispatcher stays responsible only for polling and handing ready
+events over.
+
+The Processor Controller exists when O5=Dynamic: it grows the pool when
+the queue backs up and shrinks it when the pool idles, between a
+configured min and max.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.runtime.events import Event
+from repro.runtime.scheduler import FifoEventQueue, QuotaPriorityQueue
+
+__all__ = ["EventProcessor", "ProcessorController"]
+
+
+class _Retire:
+    """Poison pill instructing exactly one worker to exit."""
+
+
+class EventProcessor:
+    """A queue plus a pool of worker threads applying ``handler``.
+
+    ``queue`` may be a :class:`FifoEventQueue` (O8=No) or a
+    :class:`QuotaPriorityQueue` (O8=Yes) — the worker loop is identical,
+    which is exactly how the generated code differs only at the queue
+    construction site.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Event], None],
+        threads: int = 1,
+        queue=None,
+        name: str = "processor",
+        error_hook: Optional[Callable[[Event, BaseException], None]] = None,
+    ):
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.handler = handler
+        self.queue = queue if queue is not None else FifoEventQueue()
+        self.name = name
+        self.error_hook = error_hook
+        self._initial_threads = threads
+        self._threads: list = []
+        self._lock = threading.Lock()
+        self._running = False
+        self._busy = 0
+        self.processed = 0
+        self.errors = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        with self._lock:
+            if self._running:
+                return
+            self._running = True
+        for _ in range(self._initial_threads):
+            self._spawn()
+
+    def stop(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop workers.  With ``drain`` the queue is allowed to empty
+        first; otherwise workers exit after their current event."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            workers = list(self._threads)
+        if drain:
+            deadline = time.monotonic() + timeout
+            while len(self.queue) and time.monotonic() < deadline:
+                time.sleep(0.005)
+        for _ in workers:
+            self.queue.push(_Retire(), priority=-(10 ** 9))
+        self.queue.close()
+        for t in workers:
+            t.join(timeout=timeout)
+        with self._lock:
+            self._threads.clear()
+
+    # -- pool management -----------------------------------------------------
+    def _spawn(self) -> None:
+        t = threading.Thread(target=self._worker, daemon=True,
+                             name=f"{self.name}-{len(self._threads)}")
+        with self._lock:
+            self._threads.append(t)
+        t.start()
+
+    def add_thread(self) -> None:
+        with self._lock:
+            if not self._running:
+                raise RuntimeError("processor not running")
+        self._spawn()
+
+    def remove_thread(self) -> None:
+        """Ask one worker to retire (low priority: after current backlog)."""
+        self.queue.push(_Retire(), priority=-(10 ** 9))
+
+    @property
+    def thread_count(self) -> int:
+        with self._lock:
+            return len([t for t in self._threads if t.is_alive()])
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    @property
+    def busy_count(self) -> int:
+        with self._lock:
+            return self._busy
+
+    # -- work ---------------------------------------------------------------
+    def submit(self, event: Event) -> None:
+        self.queue.push(event, priority=getattr(event, "priority", 0))
+
+    def _worker(self) -> None:
+        while True:
+            item = self.queue.pop(timeout=0.25)
+            if isinstance(item, _Retire):
+                with self._lock:
+                    me = threading.current_thread()
+                    if me in self._threads:
+                        self._threads.remove(me)
+                return
+            if item is None:
+                with self._lock:
+                    running = self._running
+                if not running:
+                    return
+                continue
+            with self._lock:
+                self._busy += 1
+            try:
+                self.handler(item)
+                self.processed += 1
+            except Exception as exc:  # noqa: BLE001 - server must survive handlers
+                self.errors += 1
+                if self.error_hook is not None:
+                    self.error_hook(item, exc)
+            finally:
+                with self._lock:
+                    self._busy -= 1
+
+class ProcessorController:
+    """Dynamic thread allocation (O5=Dynamic).
+
+    Samples the processor's queue every ``interval`` seconds: when the
+    backlog per thread exceeds ``grow_at`` the pool grows (up to
+    ``max_threads``); when the whole pool is idle with an empty queue it
+    shrinks (down to ``min_threads``).
+    """
+
+    def __init__(self, processor: EventProcessor, min_threads: int = 1,
+                 max_threads: int = 8, grow_at: int = 4,
+                 interval: float = 0.05):
+        if not (1 <= min_threads <= max_threads):
+            raise ValueError("need 1 <= min_threads <= max_threads")
+        if grow_at < 1:
+            raise ValueError("grow_at must be >= 1")
+        self.processor = processor
+        self.min_threads = min_threads
+        self.max_threads = max_threads
+        self.grow_at = grow_at
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.decisions: list = []
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="processor-controller")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.evaluate()
+
+    def evaluate(self) -> None:
+        """One control decision (public so tests can drive it directly)."""
+        p = self.processor
+        threads = p.thread_count
+        backlog = p.queue_length
+        if threads < self.max_threads and backlog >= self.grow_at * max(threads, 1):
+            p.add_thread()
+            self.decisions.append(("grow", threads + 1))
+        elif threads > self.min_threads and backlog == 0 and p.busy_count == 0:
+            p.remove_thread()
+            self.decisions.append(("shrink", threads - 1))

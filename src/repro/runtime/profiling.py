@@ -1,0 +1,147 @@
+"""Performance profiling (N-Server option O11).
+
+"Important statistical information of the server application can be
+automatically gathered, if the N-Server is configured to enable
+performance profiling.  This information includes: the number of
+connections accepted, the number of bytes read, the number of bytes
+sent, the file cache hit rate, etc."
+
+The generated framework calls the recording methods from the generated
+Read-Request / Send-Reply / Acceptor handlers (the `+` cells of the O11
+column in Table 2); when O11=No those call sites are simply not
+generated and a :class:`NullProfiler` singleton keeps the library code
+branch-free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ServerProfile", "Profiler", "NullProfiler", "NULL_PROFILER"]
+
+
+@dataclass
+class ServerProfile:
+    """Immutable snapshot returned by :meth:`Profiler.snapshot`."""
+
+    connections_accepted: int = 0
+    connections_closed: int = 0
+    bytes_read: int = 0
+    bytes_sent: int = 0
+    requests_handled: int = 0
+    errors: int = 0
+    events_dispatched: int = 0
+    cache_hit_rate: Optional[float] = None
+    uptime: float = 0.0
+
+    @property
+    def open_connections(self) -> int:
+        return self.connections_accepted - self.connections_closed
+
+
+class Profiler:
+    """Thread-safe counters for the statistics the paper lists."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._start = clock()
+        self._lock = threading.Lock()
+        self._connections_accepted = 0
+        self._connections_closed = 0
+        self._bytes_read = 0
+        self._bytes_sent = 0
+        self._requests_handled = 0
+        self._errors = 0
+        self._events_dispatched = 0
+        self._cache_stats = None  # optional CacheStats to sample
+
+    enabled = True
+
+    def attach_cache(self, stats) -> None:
+        """Point the profiler at a ``CacheStats`` for hit-rate sampling."""
+        self._cache_stats = stats
+
+    def connection_accepted(self) -> None:
+        with self._lock:
+            self._connections_accepted += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections_closed += 1
+
+    def bytes_read(self, n: int) -> None:
+        with self._lock:
+            self._bytes_read += n
+
+    def bytes_sent(self, n: int) -> None:
+        with self._lock:
+            self._bytes_sent += n
+
+    def request_handled(self) -> None:
+        with self._lock:
+            self._requests_handled += 1
+
+    def error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    def event_dispatched(self, n: int = 1) -> None:
+        with self._lock:
+            self._events_dispatched += n
+
+    def snapshot(self) -> ServerProfile:
+        with self._lock:
+            return ServerProfile(
+                connections_accepted=self._connections_accepted,
+                connections_closed=self._connections_closed,
+                bytes_read=self._bytes_read,
+                bytes_sent=self._bytes_sent,
+                requests_handled=self._requests_handled,
+                errors=self._errors,
+                events_dispatched=self._events_dispatched,
+                cache_hit_rate=(self._cache_stats.hit_rate
+                                if self._cache_stats is not None else None),
+                uptime=self._clock() - self._start,
+            )
+
+
+class NullProfiler(Profiler):
+    """No-op profiler used when O11=No: every recorder is a pass."""
+
+    enabled = False
+
+    def __init__(self):  # noqa: D401 - deliberately skips parent state
+        self._start = 0.0
+
+    def attach_cache(self, stats) -> None:
+        pass
+
+    def connection_accepted(self) -> None:
+        pass
+
+    def connection_closed(self) -> None:
+        pass
+
+    def bytes_read(self, n: int) -> None:
+        pass
+
+    def bytes_sent(self, n: int) -> None:
+        pass
+
+    def request_handled(self) -> None:
+        pass
+
+    def error(self) -> None:
+        pass
+
+    def event_dispatched(self, n: int = 1) -> None:
+        pass
+
+    def snapshot(self) -> ServerProfile:
+        return ServerProfile()
+
+
+NULL_PROFILER = NullProfiler()

@@ -1,0 +1,142 @@
+"""Debug-mode event tracing and application logging (options O10, O12).
+
+O10=Debug: "all internal events that are triggered in the server are
+written into a file.  The user can trace this file to get a snapshot of
+what happened during the time an error condition occurred."
+:class:`EventTracer` keeps a bounded in-memory ring (cheap enough to be
+always-on in debug builds) and can stream to a file.
+
+O12: application-level logging.  :class:`ServerLog` is a minimal
+severity-tagged logger; the generated handlers call it only when the
+template generated those call sites.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import IO, Optional
+
+__all__ = ["TraceRecord", "EventTracer", "NullTracer", "NULL_TRACER",
+           "ServerLog", "NullLog", "NULL_LOG"]
+
+
+@dataclass
+class TraceRecord:
+    timestamp: float
+    category: str
+    detail: str
+
+    def format(self) -> str:
+        return f"{self.timestamp:.6f} [{self.category}] {self.detail}"
+
+
+class EventTracer:
+    """Bounded ring of internal-event trace records (debug mode)."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096, sink: Optional[IO[str]] = None,
+                 clock=time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._ring: deque = deque(maxlen=capacity)
+        self._sink = sink
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def trace(self, category: str, detail: str) -> None:
+        rec = TraceRecord(self._clock(), category, detail)
+        with self._lock:
+            self._ring.append(rec)
+            if self._sink is not None:
+                self._sink.write(rec.format() + "\n")
+
+    def records(self, category: Optional[str] = None) -> list:
+        with self._lock:
+            recs = list(self._ring)
+        if category is not None:
+            recs = [r for r in recs if r.category == category]
+        return recs
+
+    def dump(self, sink: IO[str]) -> int:
+        """Write the current ring to ``sink``; returns record count."""
+        recs = self.records()
+        for rec in recs:
+            sink.write(rec.format() + "\n")
+        return len(recs)
+
+
+class NullTracer(EventTracer):
+    """Production mode: tracing call sites are not generated, but library
+    code that takes a tracer parameter gets this free-of-cost stub."""
+
+    enabled = False
+
+    def __init__(self):
+        pass
+
+    def trace(self, category: str, detail: str) -> None:
+        pass
+
+    def records(self, category: Optional[str] = None) -> list:
+        return []
+
+    def dump(self, sink) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+
+class ServerLog:
+    """Tiny severity logger (option O12)."""
+
+    enabled = True
+    LEVELS = ("debug", "info", "warning", "error")
+
+    def __init__(self, sink: Optional[IO[str]] = None, level: str = "info",
+                 clock=time.monotonic):
+        if level not in self.LEVELS:
+            raise ValueError(f"unknown level {level!r}")
+        self._sink = sink
+        self._threshold = self.LEVELS.index(level)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.lines: list = []
+
+    def log(self, level: str, message: str) -> None:
+        if self.LEVELS.index(level) < self._threshold:
+            return
+        line = f"{self._clock():.3f} {level.upper():8s} {message}"
+        with self._lock:
+            self.lines.append(line)
+            if self._sink is not None:
+                self._sink.write(line + "\n")
+
+    def debug(self, message: str) -> None:
+        self.log("debug", message)
+
+    def info(self, message: str) -> None:
+        self.log("info", message)
+
+    def warning(self, message: str) -> None:
+        self.log("warning", message)
+
+    def error(self, message: str) -> None:
+        self.log("error", message)
+
+
+class NullLog(ServerLog):
+    enabled = False
+
+    def __init__(self):
+        self.lines = []
+
+    def log(self, level: str, message: str) -> None:
+        pass
+
+
+NULL_LOG = NullLog()

@@ -1,0 +1,153 @@
+"""COPS-HTTP: the paper's high-performance static-content web server.
+
+Built exactly the paper's way: the N-Server template generates the
+framework (Table 1, COPS-HTTP column: one dispatcher thread, separate
+Event Processor pool, asynchronous completion events emulating
+non-blocking disk I/O, LRU file cache), and the application supplies
+only the hook methods below plus the HTTP protocol library
+(:mod:`repro.http`).
+
+The handle hook is asynchronous: a GET issues an emulated non-blocking
+file read and returns :data:`PENDING`; the completion event (carrying an
+Asynchronous Completion Token that remembers the request) builds the
+response and finishes the request on the connection.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Optional
+
+from repro import http
+from repro.co2p3s.nserver import COPS_HTTP_OPTIONS, NSERVER
+from repro.co2p3s.template import load_generated_package
+from repro.runtime import AsynchronousCompletionToken, PENDING, ServerHooks
+
+__all__ = ["CopsHttpHooks", "build_cops_http"]
+
+
+class CopsHttpHooks(ServerHooks):
+    """The hand-written part of COPS-HTTP (Table 4's "other application
+    code"): HTTP semantics on top of the generated framework."""
+
+    index_file = "index.html"
+
+    def __init__(self, default_priority: int = 0):
+        self.default_priority = default_priority
+
+    # -- framing -------------------------------------------------------
+    def split_request(self, data: bytes):
+        """HTTP framing: head + Content-Length body."""
+        try:
+            return http.split_request(data)
+        except http.BadRequest:
+            # Let decode() see the garbage and answer with an error.
+            return bytes(data), b""
+
+    # -- Decode Request ---------------------------------------------------
+    def decode(self, raw: bytes, conn):
+        try:
+            request = http.parse_request(raw)
+            request.validate()
+            return request
+        except http.BadRequest as exc:
+            return exc  # handled below; connection answers and closes
+
+    # -- Handle Request -----------------------------------------------------
+    def handle(self, request, conn):
+        if isinstance(request, http.BadRequest):
+            return self._error(conn, request.status, close=True)
+        if request.method not in ("GET", "HEAD"):
+            return self._error(conn, 501, version=request.version)
+        path = request.path
+        if path.endswith("/"):
+            path += self.index_file
+        head_only = request.method == "HEAD"
+        keep_alive = request.keep_alive
+        version = request.version
+
+        act = AsynchronousCompletionToken(
+            context=(path, head_only, keep_alive, version),
+            on_complete=lambda event: self._file_ready(conn, event),
+        )
+        conn.reactor.compute_request_event_handler.read_file(
+            path, act, priority=conn.priority)
+        return PENDING
+
+    def _file_ready(self, conn, event) -> None:
+        path, head_only, keep_alive, version = event.token.context
+        if not event.ok:
+            response = http.error_response(404, version=version,
+                                           close=not keep_alive)
+        else:
+            headers = http.Headers([
+                ("Content-Type", http.guess_type(path)),
+            ])
+            if not keep_alive:
+                headers.set("Connection", "close")
+            response = http.HttpResponse(status=200, headers=headers,
+                                         body=event.payload, version=version,
+                                         head_only=head_only)
+        response._close_after = not keep_alive
+        conn.complete_request(response)
+
+    def _error(self, conn, status: int, version: str = "HTTP/1.1",
+               close: bool = False):
+        response = http.error_response(status, version=version, close=close)
+        response._close_after = close
+        return response
+
+    # -- Encode Reply ---------------------------------------------------------
+    def encode(self, result, conn) -> bytes:
+        wire = result.encode()
+        if getattr(result, "_close_after", False):
+            conn.close_after_flush = True
+        return wire
+
+    # -- event scheduling hook (Fig 5: 13 added lines in the paper) -------------
+    def classify_priority(self, conn) -> int:
+        return self.default_priority
+
+
+class PriorityByPeerHooks(CopsHttpHooks):
+    """The Fig 5 scheduling policy: the peer's address decides whether a
+    connection is corporate-portal (high priority) or personal-homepage
+    traffic.  This subclass is the analogue of the paper's "only 13
+    lines of code are added to COPS-HTTP"."""
+
+    def __init__(self, portal_peers, portal_priority: int = 1,
+                 homepage_priority: int = 0):
+        super().__init__()
+        self.portal_peers = set(portal_peers)
+        self.portal_priority = portal_priority
+        self.homepage_priority = homepage_priority
+
+    def classify_priority(self, conn) -> int:
+        peer = conn.handle.name.split(":")[0]
+        if peer in self.portal_peers:
+            return self.portal_priority
+        return self.homepage_priority
+
+
+def build_cops_http(
+    document_root: str,
+    options: Optional[dict] = None,
+    hooks: Optional[CopsHttpHooks] = None,
+    dest: Optional[str] = None,
+    package: str = "cops_http_fw",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **config_overrides,
+):
+    """Generate the COPS-HTTP framework and return a started-able Server.
+
+    Returns ``(server, framework_module, generation_report)``.
+    """
+    opts = NSERVER.configure(options or COPS_HTTP_OPTIONS)
+    dest = dest or tempfile.mkdtemp(prefix="cops_http_")
+    report = NSERVER.generate(opts, dest, package=package)
+    fw = load_generated_package(dest, package)
+    configuration = fw.ServerConfiguration(
+        host=host, port=port, document_root=document_root, **config_overrides)
+    server = fw.Server(hooks or CopsHttpHooks(), configuration=configuration)
+    return server, fw, report

@@ -1,0 +1,38 @@
+"""Discrete-event simulation testbed.
+
+Stands in for the paper's physical testbed (Sun E420R servers, Ultra 10
+clients, switched Ethernet): simulated hosts with CPUs and context-switch
+costs, disks with an OS buffer cache, a shared-bandwidth link, TCP
+connection establishment with SYN drops and exponential backoff, and
+client workload processes.  Server *architecture models* (event-driven
+N-Server, Apache-style prefork, SPED, MPED, SEDA) live in
+``repro.sim.servers``.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    PriorityResource,
+    Process,
+    Resource,
+    SimEvent,
+    SimulationError,
+    Simulator,
+    Store,
+    Timeout,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "SimEvent",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,82 @@
+"""Client workload processes.
+
+Reproduces the paper's client behaviour: "establish a connection to the
+Web server, issue 5 HTTP requests (to simulate HTTP 1.1 persistent
+connections), and then terminate the connection.  To simulate the
+wide-area transfer delay, there is a 20 milliseconds pause after
+receiving each page".
+
+The configured ``wan_delay`` extends the per-request pause: the paper's
+16 physical client machines simulate up to 1024 web clients, and the
+per-web-client request rate that makes the network saturate above 256
+clients corresponds to a few hundred ms per request cycle.  See
+EXPERIMENTS.md ("calibration") for the arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.sim.core import Simulator
+from repro.sim.link import Link
+from repro.sim.metrics import ExperimentMetrics
+from repro.sim.servers.common import REQUEST_BYTES, SimRequest
+from repro.sim.tcp import connect
+
+__all__ = ["ClientBehavior", "web_client"]
+
+
+@dataclass
+class ClientBehavior:
+    """Per-client workload parameters."""
+
+    requests_per_connection: int = 5
+    think_time: float = 0.020
+    wan_delay: float = 0.130
+    content_class: str = "default"
+    priority: int = 0
+    #: initial delay before the first connection (staggers client starts
+    #: so 1024 clients do not SYN in lockstep at t=0)
+    start_offset: float = 0.0
+    #: multiplicative jitter for SYN retransmission timeouts
+    rto_jitter: Optional[Callable[[], float]] = None
+
+
+def web_client(
+    sim: Simulator,
+    client_id: int,
+    server,
+    uplink: Link,
+    sampler: Callable[[], Tuple[str, int]],
+    metrics: ExperimentMetrics,
+    behavior: Optional[ClientBehavior] = None,
+):
+    """One closed-loop web client (a sim process generator)."""
+    b = behavior or ClientBehavior()
+    if b.start_offset > 0:
+        yield sim.timeout(b.start_offset)
+    while True:
+        conn, wait, _attempts = yield from connect(
+            sim, server.listen, client_id,
+            priority=b.priority, content_class=b.content_class,
+            jitter=b.rto_jitter)
+        metrics.record_connect(client_id, wait)
+        amortized_wait = wait / b.requests_per_connection
+        for _ in range(b.requests_per_connection):
+            path, size = sampler()
+            started = sim.now
+            yield from uplink.transfer(REQUEST_BYTES)
+            request = SimRequest(conn=conn, path=path, size=size,
+                                 done=sim.event(), created_at=sim.now,
+                                 content_class=b.content_class)
+            conn.requests.put(request)
+            yield request.done
+            response_time = sim.now - started
+            metrics.record_response(
+                client_id, size,
+                response_time=response_time,
+                combined_time=response_time + amortized_wait,
+                content_class=b.content_class)
+            yield sim.timeout(b.think_time + b.wan_delay)
+        conn.close()

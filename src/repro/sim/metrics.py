@@ -1,0 +1,89 @@
+"""Measurement collection for the simulated experiments.
+
+Collects what the paper's figures report: per-client response counts
+(Fig 4's fairness input), throughput (Fig 3, Fig 5 per content class),
+and response / combined response times (Fig 6).  Recording only starts
+after the warm-up time, matching "Both Web servers were warmed up
+before the experiment."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis import jain_index, summarize
+
+__all__ = ["ExperimentMetrics"]
+
+
+class ExperimentMetrics:
+    """Accumulates per-request observations from client processes."""
+
+    def __init__(self, sim, warmup: float = 0.0):
+        self.sim = sim
+        self.warmup = warmup
+        self.responses_by_client: Dict[int, int] = defaultdict(int)
+        self.bytes_by_client: Dict[int, int] = defaultdict(int)
+        self.responses_by_class: Dict[str, int] = defaultdict(int)
+        self.response_times: List[float] = []
+        self.combined_times: List[float] = []
+        self.connect_waits: List[float] = []
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def recording(self) -> bool:
+        return self.sim.now >= self.warmup
+
+    def record_response(self, client_id: int, nbytes: int,
+                        response_time: float, combined_time: float,
+                        content_class: str = "default") -> None:
+        if not self.recording:
+            return
+        if self.started_at is None:
+            self.started_at = self.sim.now
+        self.finished_at = self.sim.now
+        self.responses_by_client[client_id] += 1
+        self.bytes_by_client[client_id] += nbytes
+        self.responses_by_class[content_class] += 1
+        self.response_times.append(response_time)
+        self.combined_times.append(combined_time)
+
+    def record_connect(self, client_id: int, wait: float) -> None:
+        if self.recording:
+            self.connect_waits.append(wait)
+
+    # -- summaries --------------------------------------------------------
+    @property
+    def total_responses(self) -> int:
+        return sum(self.responses_by_client.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_client.values())
+
+    def throughput(self, duration: float) -> float:
+        """Responses per second over the measurement window."""
+        return self.total_responses / duration if duration > 0 else 0.0
+
+    def class_throughput(self, content_class: str, duration: float) -> float:
+        return (self.responses_by_class.get(content_class, 0) / duration
+                if duration > 0 else 0.0)
+
+    def fairness(self, all_clients: Optional[range] = None) -> float:
+        """Jain index over per-client response counts.  ``all_clients``
+        includes clients that never got service (count 0) — essential
+        for the Fig 4 result."""
+        if all_clients is not None:
+            counts = [self.responses_by_client.get(c, 0) for c in all_clients]
+        else:
+            counts = list(self.responses_by_client.values())
+        return jain_index(counts)
+
+    def response_summary(self):
+        return summarize(self.response_times)
+
+    def combined_summary(self):
+        return summarize(self.combined_times)

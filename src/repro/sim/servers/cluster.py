@@ -1,0 +1,99 @@
+"""Distributed N-Server (the paper's future work, section VI).
+
+"The most interesting extension of this work is to support the
+generation of distributed N-servers that will serve from a network of
+workstations."
+
+Model: N independent event-driven N-Server nodes (each with its own
+CPUs, disk and caches) behind an L4 load balancer that assigns incoming
+connections to nodes — round-robin or least-connections.  Clients see
+one listen queue; the balancer forwards accepted connections into the
+chosen node's listen queue, so each node's ordinary acceptor / reactive
+machinery runs unchanged (the hook-method application code would be
+identical on every node, as the paper requires of the distributed
+pattern).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.disk import Disk, OsBufferCache
+from repro.sim.servers.common import BaseSimServer, ServerParams
+from repro.sim.servers.event_driven import EventDrivenServer
+
+__all__ = ["ClusterServer"]
+
+
+class ClusterServer(BaseSimServer):
+    """A load-balanced cluster of event-driven nodes."""
+
+    name = "cops-cluster"
+
+    def __init__(self, sim, link, disk, params: Optional[ServerParams] = None,
+                 nodes: int = 2, policy: str = "round-robin",
+                 balancer_latency: float = 0.0002, **node_kwargs):
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if policy not in ("round-robin", "least-connections"):
+            raise ValueError(f"unknown balancing policy {policy!r}")
+        super().__init__(sim, link, disk, params)
+        self.policy = policy
+        self.balancer_latency = balancer_latency
+        # Each node is a full event-driven server with its own disk and
+        # OS buffer (a workstation), sharing only the client-side link.
+        self.nodes: List[EventDrivenServer] = []
+        for _ in range(nodes):
+            node_disk = Disk(sim, buffer_cache=OsBufferCache(
+                capacity_bytes=disk.buffer.cache.capacity))
+            self.nodes.append(EventDrivenServer(
+                sim, link, node_disk, params, **node_kwargs))
+        self._next = 0
+        self.assigned_per_node = [0] * nodes
+
+    def start(self) -> None:
+        for node in self.nodes:
+            node.start()
+        self.sim.process(self._balancer(), name="balancer")
+
+    # -- balancing --------------------------------------------------------
+    def _pick(self) -> int:
+        if self.policy == "round-robin":
+            index = self._next
+            self._next = (self._next + 1) % len(self.nodes)
+            return index
+        return min(range(len(self.nodes)),
+                   key=lambda i: self.nodes[i].open_connections)
+
+    def _balancer(self):
+        while True:
+            conn = yield self.listen.accept()
+            if self.balancer_latency:
+                yield self.sim.timeout(self.balancer_latency)
+            index = self._pick()
+            self.assigned_per_node[index] += 1
+            # Forward into the node's kernel backlog; its acceptor takes
+            # over (and triggers conn.accepted).
+            if not self.nodes[index].listen.try_syn(conn):
+                # Node backlog full: spill to the emptiest node, or drop
+                # (clients retransmit) if everyone is full.
+                spill = min(range(len(self.nodes)),
+                            key=lambda i: self.nodes[i].listen.depth)
+                self.nodes[spill].listen.try_syn(conn)
+
+    # -- aggregated stats ----------------------------------------------------
+    @property
+    def open_connections(self) -> int:  # type: ignore[override]
+        return sum(node.open_connections for node in self.nodes)
+
+    @open_connections.setter
+    def open_connections(self, value) -> None:
+        # BaseSimServer.__init__ assigns 0; per-node counters rule after.
+        pass
+
+    @property
+    def requests_served_total(self) -> int:
+        return sum(node.requests_served for node in self.nodes)
+
+    def node_utilizations(self, elapsed: float) -> List[float]:
+        return [node.cpu.utilization(elapsed) for node in self.nodes]

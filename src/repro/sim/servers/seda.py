@@ -1,0 +1,97 @@
+"""SEDA architecture model (section III related work).
+
+"In SEDA, an application is modeled as a finite state machine and each
+FSM stage is embodied as a self-contained component, which consists of
+an event handler, an incoming event queue, and a pool of threads. ...
+However, this design suffers from additional thread switching/scheduling
+overheads ... when there are more stages used than available
+processors."
+
+The model: a pipeline of stages, each with its own queue and thread
+pool.  Total threads across stages typically exceed the CPU count, so
+every CPU slice pays the multiprogramming inflation — the overhead the
+paper contrasts the N-Server's two-processor design against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache import Cache, make_policy
+from repro.sim.core import Store
+from repro.sim.host import multiprogramming_inflation
+from repro.sim.servers.common import BaseSimServer, ServerParams, SimRequest
+
+__all__ = ["SedaServer"]
+
+#: (stage name, share of the per-request CPU cost)
+DEFAULT_STAGES = (
+    ("parse", 0.35),
+    ("cache", 0.15),
+    ("handle", 0.35),
+    ("send", 0.15),
+)
+
+
+class SedaServer(BaseSimServer):
+    """Staged event-driven architecture baseline."""
+
+    name = "seda"
+
+    def __init__(self, sim, link, disk, params: Optional[ServerParams] = None,
+                 threads_per_stage: int = 4,
+                 cache_bytes: int = 20 * 1024 * 1024,
+                 overhead_coefficient: float = 0.004,
+                 stages=DEFAULT_STAGES):
+        super().__init__(sim, link, disk, params)
+        self.threads_per_stage = threads_per_stage
+        self.overhead_coefficient = overhead_coefficient
+        self.stages = list(stages)
+        self.cache = Cache(capacity=cache_bytes, policy=make_policy("LRU"))
+        self._queues = {name: Store(sim) for name, _ in self.stages}
+        self.total_threads = threads_per_stage * len(self.stages)
+
+    def start(self) -> None:
+        self.sim.process(self._acceptor(), name="seda-acceptor")
+        for index, (name, share) in enumerate(self.stages):
+            for t in range(self.threads_per_stage):
+                self.sim.process(self._stage_worker(index, name, share),
+                                 name=f"seda-{name}-{t}")
+
+    def _acceptor(self):
+        while True:
+            conn = yield self.listen.accept()
+            conn.accepted.succeed(self.sim.now)
+            self.open_connections += 1
+            self.sim.process(self._pump(conn))
+
+    def _pump(self, conn):
+        first_stage = self.stages[0][0]
+        while True:
+            request = yield conn.requests.get()
+            if request is None:
+                self.open_connections -= 1
+                return
+            self._queues[first_stage].put(request)
+
+    def _inflation(self) -> float:
+        # Every stage's threads are schedulable entities: with more
+        # stage-threads than CPUs, each slice pays switching overhead.
+        return multiprogramming_inflation(
+            self.total_threads, self.params.cpus, self.overhead_coefficient)
+
+    def _stage_worker(self, index: int, name: str, share: float):
+        downstream = (self.stages[index + 1][0]
+                      if index + 1 < len(self.stages) else None)
+        queue = self._queues[name]
+        while True:
+            request = yield queue.get()
+            slice_cpu = self.params.cpu_per_request * share * self._inflation()
+            yield from self.cpu.consume(slice_cpu)
+            if name == "cache" and self.cache.get(request.path) is None:
+                yield from self.disk.read(request.path, request.size)
+                self.cache.put(request.path, request.size)
+            if downstream is not None:
+                self._queues[downstream].put(request)
+            else:
+                yield from self._respond(request)

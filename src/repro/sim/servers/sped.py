@@ -1,0 +1,105 @@
+"""SPED and MPED architecture models (section III related work).
+
+* SPED — single-process event-driven (Zeus, Harvest): one process does
+  everything; a disk read *blocks the entire server* because there is no
+  asynchronous disk I/O.
+* MPED — multi-process event-driven (Flash): SPED plus helper processes
+  that absorb the blocking disk operations, so the main loop keeps
+  serving cache hits while misses are in flight.
+
+The paper notes "Both of these two architectures can be emulated using
+the N-Server"; they are included as baselines for the architecture
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache import Cache, make_policy
+from repro.sim.core import Resource, Store
+from repro.sim.servers.common import BaseSimServer, ServerParams, SimRequest
+
+__all__ = ["SpedServer", "MpedServer"]
+
+
+class SpedServer(BaseSimServer):
+    """Single-process event-driven: blocking disk I/O stalls the loop."""
+
+    name = "sped"
+
+    def __init__(self, sim, link, disk, params: Optional[ServerParams] = None,
+                 cache_bytes: int = 20 * 1024 * 1024,
+                 scan_coefficient: float = 2.0e-6):
+        super().__init__(sim, link, disk, params)
+        self.cache = Cache(capacity=cache_bytes, policy=make_policy("LRU"))
+        self.scan_coefficient = scan_coefficient
+        self._events: Store = Store(sim)
+
+    def start(self) -> None:
+        self.sim.process(self._acceptor(), name="sped-acceptor")
+        self.sim.process(self._main_loop(), name="sped-loop")
+
+    def _acceptor(self):
+        while True:
+            conn = yield self.listen.accept()
+            conn.accepted.succeed(self.sim.now)
+            self.open_connections += 1
+            self.sim.process(self._pump(conn))
+
+    def _pump(self, conn):
+        while True:
+            request = yield conn.requests.get()
+            if request is None:
+                self.open_connections -= 1
+                return
+            self._events.put(request)
+
+    def _main_loop(self):
+        while True:
+            request = yield self._events.get()
+            yield from self.cpu.consume(
+                self.params.cpu_per_request
+                + self.scan_coefficient * self.open_connections)
+            if self.cache.get(request.path) is None:
+                # The single process blocks on the disk: nothing else is
+                # served meanwhile — SPED's known weakness.
+                yield from self.disk.read(request.path, request.size)
+                self.cache.put(request.path, request.size)
+            yield from self._respond(request)
+
+
+class MpedServer(SpedServer):
+    """SPED + helper processes for blocking disk operations (Flash)."""
+
+    name = "mped"
+
+    def __init__(self, sim, link, disk, params: Optional[ServerParams] = None,
+                 cache_bytes: int = 20 * 1024 * 1024,
+                 scan_coefficient: float = 2.0e-6, helpers: int = 4):
+        super().__init__(sim, link, disk, params,
+                         cache_bytes=cache_bytes,
+                         scan_coefficient=scan_coefficient)
+        self._helpers = Resource(sim, capacity=helpers)
+
+    def _main_loop(self):
+        while True:
+            request = yield self._events.get()
+            yield from self.cpu.consume(
+                self.params.cpu_per_request
+                + self.scan_coefficient * self.open_connections)
+            if self.cache.get(request.path) is None:
+                # Hand the blocking read to a helper; keep serving.
+                self.sim.process(self._helper_read(request))
+                continue
+            yield from self._respond(request)
+
+    def _helper_read(self, request: SimRequest):
+        slot = self._helpers.request()
+        yield slot
+        try:
+            yield from self.disk.read(request.path, request.size)
+        finally:
+            self._helpers.release(slot)
+        self.cache.put(request.path, request.size)
+        self._events.put(request)

@@ -1,0 +1,7 @@
+"""SMTP protocol library: the substrate for the mail-server application
+the paper names among the N-Server's uses."""
+
+from repro.smtp.mailbox import MailStore, Message
+from repro.smtp.session import MAX_MESSAGE_BYTES, SmtpSession
+
+__all__ = ["MAX_MESSAGE_BYTES", "MailStore", "Message", "SmtpSession"]

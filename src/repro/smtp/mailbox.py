@@ -1,0 +1,45 @@
+"""In-memory mail store for the mail-server application."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Message", "MailStore"]
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    sender: str
+    recipients: Tuple[str, ...]
+    body: bytes
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    received_at: float = field(default_factory=time.time)
+
+
+class MailStore:
+    """Thread-safe per-recipient mailbox map."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._boxes: Dict[str, List[Message]] = {}
+        self.delivered = 0
+
+    def deliver(self, message: Message) -> None:
+        with self._lock:
+            for rcpt in message.recipients:
+                self._boxes.setdefault(rcpt.lower(), []).append(message)
+            self.delivered += 1
+
+    def messages_for(self, recipient: str) -> List[Message]:
+        with self._lock:
+            return list(self._boxes.get(recipient.lower(), []))
+
+    def mailbox_count(self) -> int:
+        with self._lock:
+            return len(self._boxes)

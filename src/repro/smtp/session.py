@@ -1,0 +1,148 @@
+"""SMTP session state machine (RFC 5321 subset).
+
+The paper lists a mail server among the applications the N-Server
+pattern can generate ("the pattern can be used to generate a mail
+server, time server, or any other network-based server").  Like the FTP
+session machine, this is transport-agnostic: feed it one framed unit at
+a time (a command line, or — in DATA mode — a whole dot-terminated
+message) and it returns reply bytes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.smtp.mailbox import MailStore, Message
+
+__all__ = ["SmtpSession", "MAX_MESSAGE_BYTES"]
+
+MAX_MESSAGE_BYTES = 10 * 1024 * 1024
+
+_ADDRESS = re.compile(r"<([^<>\s]+@[^<>\s]+|[^<>\s]*)>")
+
+
+class SmtpSession:
+    """Per-connection SMTP protocol state."""
+
+    def __init__(self, store: MailStore, hostname: str = "cops-mail"):
+        self.store = store
+        self.hostname = hostname
+        self.helo: Optional[str] = None
+        self.sender: Optional[str] = None
+        self.recipients: List[str] = []
+        self.in_data = False
+        self.closed = False
+        self.messages_accepted = 0
+
+    # -- framing help for the server hooks --------------------------------
+    def greeting(self) -> bytes:
+        return f"220 {self.hostname} COPS-Mail (repro) ready\r\n".encode()
+
+    def split_unit(self, data: bytes) -> Optional[Tuple[bytes, bytes]]:
+        """One protocol unit: a CRLF line, or a full dot-terminated
+        message while in DATA mode."""
+        if self.in_data:
+            end = data.find(b"\r\n.\r\n")
+            if end == -1:
+                if data == b".\r\n":  # empty message body
+                    return data, b""
+                if len(data) > MAX_MESSAGE_BYTES:
+                    # Let handle() reject it; keep framing progress.
+                    return bytes(data), b""
+                return None
+            return bytes(data[:end + 5]), bytes(data[end + 5:])
+        if b"\n" not in data:
+            return None
+        line, rest = data.split(b"\n", 1)
+        return line + b"\n", rest
+
+    # -- protocol ------------------------------------------------------------
+    def handle(self, unit: bytes) -> bytes:
+        if self.in_data:
+            return self._finish_data(unit)
+        text = unit.decode("latin-1", "replace").rstrip("\r\n")
+        verb, _, arg = text.partition(" ")
+        verb = verb.upper()
+        handler = getattr(self, f"_cmd_{verb.lower()}", None)
+        if handler is None:
+            return b"500 5.5.2 Command not recognized\r\n"
+        return handler(arg.strip())
+
+    # -- commands ----------------------------------------------------------------
+    def _cmd_helo(self, arg: str) -> bytes:
+        if not arg:
+            return b"501 5.5.4 HELO requires a domain\r\n"
+        self.helo = arg
+        return f"250 {self.hostname} Hello {arg}\r\n".encode()
+
+    def _cmd_ehlo(self, arg: str) -> bytes:
+        if not arg:
+            return b"501 5.5.4 EHLO requires a domain\r\n"
+        self.helo = arg
+        return (f"250-{self.hostname} Hello {arg}\r\n"
+                f"250-SIZE {MAX_MESSAGE_BYTES}\r\n"
+                "250 8BITMIME\r\n").encode()
+
+    def _cmd_mail(self, arg: str) -> bytes:
+        if self.helo is None:
+            return b"503 5.5.1 Say HELO first\r\n"
+        if self.sender is not None:
+            return b"503 5.5.1 Nested MAIL command\r\n"
+        if not arg.upper().startswith("FROM:"):
+            return b"501 5.5.4 Syntax: MAIL FROM:<address>\r\n"
+        match = _ADDRESS.search(arg)
+        if match is None:
+            return b"501 5.1.7 Bad sender address syntax\r\n"
+        self.sender = match.group(1)
+        return b"250 2.1.0 Sender ok\r\n"
+
+    def _cmd_rcpt(self, arg: str) -> bytes:
+        if self.sender is None:
+            return b"503 5.5.1 Need MAIL before RCPT\r\n"
+        if not arg.upper().startswith("TO:"):
+            return b"501 5.5.4 Syntax: RCPT TO:<address>\r\n"
+        match = _ADDRESS.search(arg)
+        if match is None or "@" not in match.group(1):
+            return b"501 5.1.3 Bad recipient address syntax\r\n"
+        self.recipients.append(match.group(1))
+        return b"250 2.1.5 Recipient ok\r\n"
+
+    def _cmd_data(self, arg: str) -> bytes:
+        if not self.recipients:
+            return b"503 5.5.1 Need RCPT before DATA\r\n"
+        self.in_data = True
+        return b"354 End data with <CR><LF>.<CR><LF>\r\n"
+
+    def _finish_data(self, unit: bytes) -> bytes:
+        self.in_data = False
+        if len(unit) > MAX_MESSAGE_BYTES:
+            self._reset_envelope()
+            return b"552 5.3.4 Message too big\r\n"
+        body = unit[:-5] if unit.endswith(b"\r\n.\r\n") else unit[:-3]
+        # Dot-unstuffing per RFC 5321 4.5.2.
+        body = body.replace(b"\r\n..", b"\r\n.")
+        self.store.deliver(Message(sender=self.sender,
+                                   recipients=tuple(self.recipients),
+                                   body=body))
+        self.messages_accepted += 1
+        self._reset_envelope()
+        return b"250 2.0.0 Message accepted for delivery\r\n"
+
+    def _cmd_rset(self, arg: str) -> bytes:
+        self._reset_envelope()
+        return b"250 2.0.0 Reset state\r\n"
+
+    def _cmd_noop(self, arg: str) -> bytes:
+        return b"250 2.0.0 OK\r\n"
+
+    def _cmd_vrfy(self, arg: str) -> bytes:
+        return b"252 2.5.2 Cannot VRFY; try RCPT\r\n"
+
+    def _cmd_quit(self, arg: str) -> bytes:
+        self.closed = True
+        return f"221 2.0.0 {self.hostname} closing connection\r\n".encode()
+
+    def _reset_envelope(self) -> None:
+        self.sender = None
+        self.recipients = []

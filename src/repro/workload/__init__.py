@@ -1,0 +1,6 @@
+"""Workload generation: SpecWeb99-like file sets and Zipf sampling."""
+
+from repro.workload.specweb import CLASS_MIX, DIRECTORY_BYTES, SpecWebFileSet
+from repro.workload.zipf import ZipfSampler
+
+__all__ = ["CLASS_MIX", "DIRECTORY_BYTES", "SpecWebFileSet", "ZipfSampler"]

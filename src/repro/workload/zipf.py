@@ -1,0 +1,44 @@
+"""Zipf-like discrete sampling.
+
+SpecWeb99 accesses files with a Zipf distribution over directories and a
+fixed intra-directory popularity profile.  :class:`ZipfSampler`
+implements inverse-CDF sampling over ``1/rank**alpha`` weights with a
+deterministic numpy RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Sample ranks 0..n-1 with probability proportional to
+    ``1/(rank+1)**alpha``."""
+
+    def __init__(self, n: int, alpha: float = 1.0,
+                 rng: np.random.Generator | None = None, seed: int = 0):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.n = n
+        self.alpha = alpha
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float), alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self) -> int:
+        u = self.rng.random()
+        return int(np.searchsorted(self._cdf, u, side="left"))
+
+    def sample_many(self, k: int) -> np.ndarray:
+        u = self.rng.random(k)
+        return np.searchsorted(self._cdf, u, side="left")
+
+    def probability(self, rank: int) -> float:
+        if rank == 0:
+            return float(self._cdf[0])
+        return float(self._cdf[rank] - self._cdf[rank - 1])

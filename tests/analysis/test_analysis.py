@@ -1,0 +1,79 @@
+"""Tests for fairness, stats and report rendering."""
+
+import pytest
+
+from repro.analysis import jain_index, render_series, render_table, summarize
+
+
+# -- Jain index (the paper's Fig 4 metric) -----------------------------------
+
+
+def test_jain_equal_allocations_is_one():
+    assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+
+def test_jain_k_of_n_property():
+    """If k clients receive equal service and the rest none, f = k/N."""
+    for k, n in ((1, 10), (5, 10), (150, 1024)):
+        values = [7] * k + [0] * (n - k)
+        assert jain_index(values) == pytest.approx(k / n)
+
+
+def test_jain_paper_number():
+    # 0.51 at 1024 clients corresponds to ~522 equally-served clients.
+    values = [10] * 522 + [0] * (1024 - 522)
+    assert jain_index(values) == pytest.approx(0.51, abs=0.01)
+
+
+def test_jain_empty_and_zero():
+    assert jain_index([]) == 1.0
+    assert jain_index([0, 0, 0]) == 1.0
+
+
+def test_jain_rejects_negative():
+    with pytest.raises(ValueError):
+        jain_index([1, -2])
+
+
+def test_jain_mild_skew_between_bounds():
+    f = jain_index([10, 8, 12, 10])
+    assert 0.9 < f < 1.0
+
+
+# -- summaries ----------------------------------------------------------------------
+
+
+def test_summarize_values():
+    s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert s.count == 5
+    assert s.mean == pytest.approx(3.0)
+    assert s.median == pytest.approx(3.0)
+    assert s.minimum == 1.0 and s.maximum == 5.0
+
+
+def test_summarize_empty_is_none():
+    assert summarize([]) is None
+
+
+def test_percentiles_ordered():
+    s = summarize(range(1000))
+    assert s.median <= s.p90 <= s.p99 <= s.maximum
+
+
+# -- rendering ------------------------------------------------------------------------
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "value"], [["a", 1], ["long-name", 22]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert lines[2].startswith("---")
+    assert len(lines) == 5
+
+
+def test_render_series_columns():
+    out = render_series("x", [1, 2], {"a": [10.0, 20.0], "b": [1.5, None]})
+    assert "10.0" in out and "20.0" in out
+    assert "-" in out  # the None cell

@@ -1,0 +1,124 @@
+"""Unit tests for the policy-agnostic cache core."""
+
+import pytest
+
+from repro.cache import Cache, CacheStats, LRUPolicy
+
+
+def make(capacity=100):
+    return Cache(capacity=capacity, policy=LRUPolicy())
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        make(0)
+
+
+def test_put_get_roundtrip():
+    c = make()
+    assert c.put("a", 10, payload=b"AAAA")
+    entry = c.get("a")
+    assert entry is not None and entry.payload == b"AAAA" and entry.size == 10
+
+
+def test_miss_returns_none_and_counts():
+    c = make()
+    assert c.get("nope") is None
+    assert c.stats.misses == 1 and c.stats.hits == 0
+
+
+def test_hit_counts():
+    c = make()
+    c.put("a", 10)
+    c.get("a")
+    c.get("a")
+    assert c.stats.hits == 2
+    assert c.stats.hit_rate == 1.0
+
+
+def test_used_and_free_accounting():
+    c = make(100)
+    c.put("a", 30)
+    c.put("b", 20)
+    assert c.used == 50 and c.free == 50
+
+
+def test_replace_existing_key_updates_size():
+    c = make(100)
+    c.put("a", 30)
+    c.put("a", 50)
+    assert c.used == 50
+    assert len(c) == 1
+
+
+def test_object_bigger_than_capacity_rejected():
+    c = make(100)
+    assert not c.put("huge", 101)
+    assert c.stats.rejections == 1
+    assert c.used == 0
+
+
+def test_eviction_frees_space():
+    c = make(100)
+    c.put("a", 60)
+    c.put("b", 60)  # must evict "a"
+    assert "b" in c and "a" not in c
+    assert c.stats.evictions == 1
+    assert c.stats.bytes_evicted == 60
+
+
+def test_invalidate_removes_without_eviction_count():
+    c = make(100)
+    c.put("a", 10)
+    assert c.invalidate("a")
+    assert not c.invalidate("a")
+    assert c.stats.evictions == 0
+    assert c.used == 0
+
+
+def test_clear_empties_cache():
+    c = make(100)
+    c.put("a", 10)
+    c.put("b", 10)
+    c.clear()
+    assert len(c) == 0 and c.used == 0
+
+
+def test_negative_size_raises():
+    c = make()
+    with pytest.raises(ValueError):
+        c.put("a", -1)
+
+
+def test_zero_size_entry_allowed():
+    c = make(10)
+    assert c.put("empty", 0)
+    assert c.get("empty") is not None
+
+
+def test_peek_does_not_touch_bookkeeping():
+    c = make()
+    c.put("a", 10)
+    before = c.peek("a").last_access
+    c.peek("a")
+    assert c.peek("a").last_access == before
+    assert c.stats.hits == 0
+
+
+def test_frequency_increments_on_get():
+    c = make()
+    c.put("a", 10)
+    assert c.peek("a").frequency == 1
+    c.get("a")
+    assert c.peek("a").frequency == 2
+
+
+def test_stats_snapshot_keys():
+    s = CacheStats()
+    snap = s.snapshot()
+    assert set(snap) == {"hits", "misses", "insertions", "evictions",
+                         "rejections", "hit_rate"}
+
+
+def test_hit_rate_zero_when_no_lookups():
+    assert CacheStats().hit_rate == 0.0

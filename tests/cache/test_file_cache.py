@@ -1,0 +1,99 @@
+"""Tests for the read-through FileCache front-end."""
+
+import pytest
+
+from repro.cache import FileCache, FileNotCacheable
+
+
+def counting_loader(files):
+    calls = {"n": 0}
+
+    def loader(path):
+        calls["n"] += 1
+        if path not in files:
+            raise FileNotFoundError(path)
+        data = files[path]
+        return len(data), data
+
+    return loader, calls
+
+
+def test_miss_then_hit():
+    loader, calls = counting_loader({"/a": b"hello"})
+    fc = FileCache(capacity=100, policy="LRU", loader=loader)
+    first = fc.get_file("/a")
+    second = fc.get_file("/a")
+    assert not first.from_cache and second.from_cache
+    assert calls["n"] == 1
+    assert second.payload == b"hello"
+
+
+def test_missing_file_propagates():
+    loader, _ = counting_loader({})
+    fc = FileCache(capacity=100, loader=loader)
+    with pytest.raises(FileNotFoundError):
+        fc.get_file("/nope")
+
+
+def test_policy_by_name():
+    fc = FileCache(capacity=100, policy="Hyper-G", loader=lambda p: (1, b"x"))
+    assert fc.policy_name == "Hyper-G"
+
+
+def test_threshold_policy_kwargs():
+    fc = FileCache(capacity=1000, policy="LRU-Threshold", threshold=10,
+                   loader=lambda p: (50, b"x" * 50))
+    fc.get_file("/big")
+    fc.get_file("/big")
+    # 50 > threshold 10: never cached, loader consulted every time
+    assert fc.stats.hits == 0
+
+
+def test_not_cacheable_marker():
+    def loader(path):
+        raise FileNotCacheable(7, b"dynamic!")
+
+    fc = FileCache(capacity=100, loader=loader)
+    got = fc.get_file("/cgi")
+    assert got.payload == b"dynamic!" and not got.from_cache
+    assert not fc.contains("/cgi")
+
+
+def test_invalidate():
+    loader, calls = counting_loader({"/a": b"v1"})
+    fc = FileCache(capacity=100, loader=loader)
+    fc.get_file("/a")
+    assert fc.invalidate("/a")
+    fc.get_file("/a")
+    assert calls["n"] == 2
+
+
+def test_no_loader_raises():
+    fc = FileCache(capacity=100)
+    with pytest.raises(FileNotFoundError):
+        fc.get_file("/anything")
+
+
+def test_for_directory_reads_real_files(tmp_path):
+    (tmp_path / "index.html").write_bytes(b"<html>hi</html>")
+    fc = FileCache.for_directory(str(tmp_path), capacity=1 << 20)
+    got = fc.get_file("/index.html")
+    assert got.payload == b"<html>hi</html>"
+    assert fc.get_file("/index.html").from_cache
+
+
+def test_for_directory_rejects_traversal(tmp_path):
+    (tmp_path / "f").write_bytes(b"ok")
+    fc = FileCache.for_directory(str(tmp_path), capacity=1 << 20)
+    with pytest.raises(FileNotFoundError):
+        fc.get_file("/../etc/passwd")
+
+
+def test_eviction_through_file_cache():
+    files = {f"/f{i}": bytes(40) for i in range(5)}
+    loader, _ = counting_loader(files)
+    fc = FileCache(capacity=100, policy="LRU", loader=loader)
+    for p in files:
+        fc.get_file(p)
+    assert fc.cache.used <= 100
+    assert fc.stats.evictions >= 3

@@ -1,0 +1,58 @@
+"""Tests for the python -m repro.co2p3s CLI."""
+
+import pytest
+
+from repro.co2p3s.__main__ import main
+
+
+def test_list_shows_nserver(capsys):
+    assert main(["list"]) == 0
+    assert "n-server" in capsys.readouterr().out
+
+
+def test_options_lists_all_twelve(capsys):
+    assert main(["options", "n-server"]) == 0
+    out = capsys.readouterr().out
+    for i in range(1, 13):
+        assert f"O{i} " in out or f"O{i}:" in out or out.count(f"O{i}") >= 1
+
+
+def test_generate_with_preset(tmp_path, capsys):
+    assert main(["generate", "n-server", "--preset", "cops-http",
+                 "--dest", str(tmp_path), "--package", "cli_test_fw"]) == 0
+    assert (tmp_path / "cli_test_fw" / "server.py").exists()
+    assert "generated" in capsys.readouterr().out
+
+
+def test_generate_with_set_overrides(tmp_path):
+    assert main(["generate", "n-server",
+                 "--set", "O6=Hyper-G", "--set", "O10=Debug",
+                 "--set", "O11=Yes",
+                 "--dest", str(tmp_path), "--package", "cli_set_fw"]) == 0
+    cache = (tmp_path / "cli_set_fw" / "cache.py").read_text()
+    assert "Hyper-G" in cache
+
+
+def test_generate_set_none_disables_cache(tmp_path):
+    assert main(["generate", "n-server", "--set", "O6=None",
+                 "--dest", str(tmp_path), "--package", "cli_none_fw"]) == 0
+    assert not (tmp_path / "cli_none_fw" / "cache.py").exists()
+
+
+def test_generate_bad_set_syntax(tmp_path):
+    assert main(["generate", "n-server", "--set", "O6",
+                 "--dest", str(tmp_path)]) == 2
+
+
+def test_generate_illegal_option_value(tmp_path):
+    from repro.co2p3s import OptionError
+
+    with pytest.raises(OptionError):
+        main(["generate", "n-server", "--set", "O6=MRU",
+              "--dest", str(tmp_path)])
+
+
+def test_crosscut_prints_matrix(capsys):
+    assert main(["crosscut", "n-server"]) == 0
+    out = capsys.readouterr().out
+    assert "Reactor" in out and "O12" in out

@@ -1,0 +1,223 @@
+"""Tests for the N-Server template: option table, constraints, generated
+code structure, and the Table 2 crosscut reproduction."""
+
+import ast
+
+import pytest
+
+from repro.co2p3s import OptionError
+from repro.co2p3s.crosscut import (
+    CrosscutMatrix,
+    declared_matrix,
+    empirical_matrix,
+    format_matrix,
+)
+from repro.co2p3s.nserver import (
+    ALL_FEATURES_ON,
+    COPS_FTP_OPTIONS,
+    COPS_HTTP_OPTIONS,
+    COPS_HTTP_OVERLOAD_OPTIONS,
+    COPS_HTTP_SCHEDULING_OPTIONS,
+    NSERVER,
+    PAPER_TABLE2,
+    POOL_TOGGLE_BASE,
+    TABLE2_CLASS_ORDER,
+    option_table_rows,
+)
+
+
+# -- Table 1: the option model -------------------------------------------------
+
+
+def test_twelve_options():
+    specs = NSERVER.option_specs()
+    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 13)]
+
+
+def test_paper_configurations_are_legal():
+    for config in (COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS,
+                   COPS_HTTP_SCHEDULING_OPTIONS, COPS_HTTP_OVERLOAD_OPTIONS,
+                   ALL_FEATURES_ON, POOL_TOGGLE_BASE):
+        opts = NSERVER.configure(config)
+        NSERVER.validate(opts)
+
+
+def test_cops_ftp_column_matches_table1():
+    opts = NSERVER.configure(COPS_FTP_OPTIONS)
+    assert opts["O4"] == "Synchronous"
+    assert opts["O5"] == "Dynamic"
+    assert opts["O6"] is None
+    assert opts["O7"] is True
+
+
+def test_cops_http_column_matches_table1():
+    opts = NSERVER.configure(COPS_HTTP_OPTIONS)
+    assert opts["O4"] == "Asynchronous"
+    assert opts["O5"] == "Static"
+    assert opts["O6"] == "LRU"
+    assert opts["O7"] is False
+
+
+def test_option_table_rows_shape():
+    rows = option_table_rows(COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS)
+    assert len(rows) == 12
+    assert all(len(r) == 4 for r in rows)
+    o6 = next(r for r in rows if r[0].startswith("O6"))
+    assert o6[2] == "No" and o6[3] == "Yes: LRU"
+
+
+def test_constraints():
+    with pytest.raises(OptionError):
+        NSERVER.validate(NSERVER.configure({"O8": True, "O2": False}))
+    with pytest.raises(OptionError):
+        NSERVER.validate(NSERVER.configure({"O9": True, "O2": False}))
+    with pytest.raises(OptionError):
+        NSERVER.validate(NSERVER.configure({"O5": "Dynamic", "O2": False}))
+
+
+def test_illegal_option_value():
+    with pytest.raises(OptionError):
+        NSERVER.configure({"O6": "MRU"})
+
+
+# -- generated code structure ---------------------------------------------------
+
+
+def render(config):
+    return NSERVER.render(NSERVER.configure(config), package="t")
+
+
+def test_all_files_parse_for_paper_configs():
+    for config in (COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS,
+                   COPS_HTTP_SCHEDULING_OPTIONS, COPS_HTTP_OVERLOAD_OPTIONS,
+                   ALL_FEATURES_ON):
+        report = render(config)
+        for filename, text in report.files.items():
+            ast.parse(text)
+
+
+def test_full_config_generates_all_27_classes():
+    report = render(ALL_FEATURES_ON)
+    assert set(report.class_names()) == set(TABLE2_CLASS_ORDER)
+
+
+def test_optional_classes_absent_when_options_off():
+    report = render(COPS_FTP_OPTIONS)  # Synchronous, no cache, static=no ctrl
+    names = set(report.class_names())
+    assert "CompletionEvent" not in names          # O4=Synchronous
+    assert "FileOpenEvent" not in names
+    assert "FileHandle" not in names
+    assert "Cache" not in names                    # O6=No
+    assert "ProcessorController" in names          # O5=Dynamic
+    report2 = render(COPS_HTTP_OPTIONS)
+    assert "ProcessorController" not in set(report2.class_names())  # Static
+
+
+def test_codec_classes_follow_o3():
+    with_codec = set(render(ALL_FEATURES_ON).class_names())
+    without = set(render(dict(ALL_FEATURES_ON, O3=False)).class_names())
+    assert "DecodeRequestEventHandler" in with_codec
+    assert "DecodeRequestEventHandler" not in without
+    assert "EncodeReplyEventHandler" not in without
+
+
+def test_no_dynamic_feature_checks_in_generated_code():
+    """The paper's core claim: option-disabled features leave NO trace in
+    the generated code — no runtime flag checks."""
+    report = render(COPS_HTTP_OPTIONS)  # profiling/logging/debug all off
+    for filename, text in report.files.items():
+        assert "profiler" not in text, filename
+        assert "tracer" not in text, filename
+        assert ".log." not in text, filename
+        assert "overload.accepting" not in text, filename
+        assert "OverloadController" not in text, filename
+        assert "reap_idle" not in text, filename
+        assert "idle-scan" not in text, filename
+
+
+def test_feature_code_present_when_enabled():
+    report = render(ALL_FEATURES_ON)
+    blob = "\n".join(report.files.values())
+    assert "profiler" in blob
+    assert "tracer" in blob
+    assert "overload" in blob
+    assert "reap_idle" in blob
+    assert "QuotaPriorityQueue" in blob
+
+
+def test_dispatcher_threads_expression():
+    one = render(ALL_FEATURES_ON).files["reactor.py"]
+    two_n = render(dict(ALL_FEATURES_ON, O1="2N")).files["reactor.py"]
+    assert "threads=1" in one
+    assert "os.cpu_count()" in two_n
+
+
+def test_generated_options_recorded_in_init():
+    report = render(COPS_HTTP_OPTIONS)
+    assert "GENERATED_OPTIONS" in report.files["__init__.py"]
+    assert "'O6': 'LRU'" in report.files["__init__.py"]
+
+
+def test_cache_policy_baked_in():
+    lru = render(COPS_HTTP_OPTIONS).files["cache.py"]
+    assert '"LRU"' in lru
+    hyper = render(dict(COPS_HTTP_OPTIONS, O6="Hyper-G")).files["cache.py"]
+    assert '"Hyper-G"' in hyper
+    threshold = render(dict(COPS_HTTP_OPTIONS, O6="LRU-Threshold")).files["cache.py"]
+    assert "make_policy" in threshold
+    custom = render(dict(COPS_HTTP_OPTIONS, O6="Custom")).files["cache.py"]
+    assert "make_cache_policy()" in custom
+
+
+def test_generated_size_same_order_as_paper():
+    """Table 4 reports 2,697 NCSS of generated code for COPS-HTTP; our
+    generated framework should be the same order of magnitude (Python is
+    more compact than Java)."""
+    from repro.co2p3s import measure_source
+
+    report = render(COPS_HTTP_OPTIONS)
+    total = sum(measure_source(t).ncss for t in report.files.values())
+    assert 250 <= total <= 5000
+
+
+# -- Table 2: crosscut reproduction ------------------------------------------------
+
+
+def paper_matrix():
+    m = CrosscutMatrix(class_names=TABLE2_CLASS_ORDER,
+                       option_keys=[f"O{i}" for i in range(1, 13)])
+    for name in TABLE2_CLASS_ORDER:
+        m.cells[name] = {f"O{i}": PAPER_TABLE2.get(name, {}).get(f"O{i}", "")
+                         for i in range(1, 13)}
+    return m
+
+
+def test_empirical_crosscut_reproduces_paper_table2():
+    emp = empirical_matrix(NSERVER, ALL_FEATURES_ON,
+                           extra_bases=(POOL_TOGGLE_BASE,))
+    assert emp.differences(paper_matrix()) == []
+
+
+def test_declared_metadata_matches_empirical():
+    emp = empirical_matrix(NSERVER, ALL_FEATURES_ON,
+                           extra_bases=(POOL_TOGGLE_BASE,))
+    dec = declared_matrix(NSERVER, ALL_FEATURES_ON)
+    assert emp.differences(dec) == []
+
+
+def test_format_matrix_renders():
+    text = format_matrix(paper_matrix(), title="TABLE 2")
+    assert "TABLE 2" in text
+    assert "Reactor" in text and "O12" in text
+
+
+def test_crosscut_every_option_crosscuts_multiple_classes():
+    """The motivation for generation over a static framework: most
+    options touch several classes."""
+    m = paper_matrix()
+    for key in (f"O{i}" for i in range(1, 13)):
+        touched = sum(1 for name in TABLE2_CLASS_ORDER if m.cell(name, key))
+        assert touched >= 1
+    # O10 (debug mode) is the most crosscutting: 17 classes in the paper.
+    o10 = sum(1 for n in TABLE2_CLASS_ORDER if m.cell(n, "O10"))
+    assert o10 == 17

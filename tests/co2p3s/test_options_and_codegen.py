@@ -1,0 +1,237 @@
+"""Tests for the generic CO2P3S machinery: options, fragments, codegen,
+metrics."""
+
+import pytest
+
+from repro.co2p3s import (
+    ClassSpec,
+    CodeGenerator,
+    Fragment,
+    ModuleSpec,
+    OMIT,
+    OptionError,
+    OptionSet,
+    OptionSpec,
+    measure_source,
+)
+
+SPECS = (
+    OptionSpec(key="A", name="alpha", describe_values="Yes/No",
+               default=True, values=(True, False)),
+    OptionSpec(key="B", name="beta", describe_values="x/y/z",
+               default="x", values=("x", "y", "z")),
+    OptionSpec(key="C", name="gamma", describe_values="any positive int",
+               default=1, validator=lambda v: isinstance(v, int) and v > 0),
+)
+
+
+# -- options -----------------------------------------------------------------
+
+
+def test_defaults():
+    opts = OptionSet(SPECS)
+    assert opts["A"] is True and opts["B"] == "x" and opts["C"] == 1
+
+
+def test_overrides_validated():
+    opts = OptionSet(SPECS, {"B": "z"})
+    assert opts["B"] == "z"
+    with pytest.raises(OptionError):
+        OptionSet(SPECS, {"B": "w"})
+
+
+def test_validator_domain():
+    opts = OptionSet(SPECS, {"C": 42})
+    assert opts["C"] == 42
+    with pytest.raises(OptionError):
+        OptionSet(SPECS, {"C": 0})
+
+
+def test_unknown_key_rejected():
+    with pytest.raises(OptionError):
+        OptionSet(SPECS, {"Z": 1})
+    opts = OptionSet(SPECS)
+    with pytest.raises(OptionError):
+        opts.get("Z")
+
+
+def test_replace_makes_validated_copy():
+    opts = OptionSet(SPECS)
+    new = opts.replace(B="y")
+    assert new["B"] == "y" and opts["B"] == "x"
+    with pytest.raises(OptionError):
+        opts.replace(B="nope")
+
+
+def test_equality_and_dict():
+    a = OptionSet(SPECS, {"B": "y"})
+    b = OptionSet(SPECS, {"B": "y"})
+    assert a == b
+    assert a.as_dict()["B"] == "y"
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(OptionError):
+        OptionSet(SPECS + (SPECS[0],))
+
+
+# -- fragments ------------------------------------------------------------------
+
+
+def ctx(**kw):
+    base = {"greeting": "hello", "package": "pkg"}
+    base.update(kw)
+    return base
+
+
+def test_fragment_renders_when_guard_true():
+    frag = Fragment("x = '$greeting'", guard=lambda o: o["A"])
+    opts = OptionSet(SPECS)
+    assert frag.render(opts, ctx()) == "x = 'hello'"
+
+
+def test_fragment_skipped_when_guard_false():
+    frag = Fragment("x = 1", guard=lambda o: not o["A"])
+    assert frag.render(OptionSet(SPECS), ctx()) is None
+
+
+def test_fragment_missing_param_raises():
+    frag = Fragment("x = $nope")
+    with pytest.raises(KeyError):
+        frag.render(OptionSet(SPECS), ctx())
+
+
+def test_omit_deletes_whole_line():
+    frag = Fragment("a = 1\n$maybe\nb = 2")
+    out = frag.render(OptionSet(SPECS), ctx(maybe=OMIT))
+    assert out == "a = 1\nb = 2"
+
+
+def test_fragment_dedents():
+    frag = Fragment('''
+        def f(self):
+            return 1
+    ''')
+    out = frag.render(OptionSet(SPECS), ctx())
+    assert out.startswith("def f(self):")
+
+
+# -- class/module rendering ---------------------------------------------------------
+
+
+def make_generator():
+    cls = ClassSpec(
+        name="Widget",
+        doc="A widget.",
+        fragments=[
+            Fragment("def __init__(self):\n    self.n = 0"),
+            Fragment("def extra(self):\n    return '$greeting'",
+                     guard=lambda o: o["A"], options=("A",)),
+        ],
+    )
+    optional = ClassSpec(
+        name="OnlyWhenY",
+        doc="Exists only when B == 'y'.",
+        exists=lambda o: o["B"] == "y",
+        exists_options=("B",),
+        fragments=[Fragment("pass")],
+    )
+    mod = ModuleSpec(name="widgets", doc="widgets module",
+                     classes=[cls, optional])
+    return CodeGenerator([mod], context_builder=lambda o: {"greeting": "hi"})
+
+
+def test_generated_class_includes_guarded_fragment():
+    gen = make_generator()
+    report = gen.render(OptionSet(SPECS), package="p")
+    assert "def extra" in report.files["widgets.py"]
+    assert "return 'hi'" in report.files["widgets.py"]
+
+
+def test_guarded_fragment_excluded():
+    gen = make_generator()
+    report = gen.render(OptionSet(SPECS, {"A": False}), package="p")
+    assert "def extra" not in report.files["widgets.py"]
+
+
+def test_existence_guard_drops_class():
+    gen = make_generator()
+    on = gen.render(OptionSet(SPECS, {"B": "y"}), package="p")
+    off = gen.render(OptionSet(SPECS), package="p")
+    assert "OnlyWhenY" in on.files["widgets.py"]
+    assert "OnlyWhenY" not in off.files["widgets.py"]
+    assert off.find_class("OnlyWhenY") is None
+    assert on.find_class("OnlyWhenY") is not None
+
+
+def test_generated_files_are_valid_python():
+    import ast
+
+    gen = make_generator()
+    report = gen.render(OptionSet(SPECS), package="p")
+    for text in report.files.values():
+        ast.parse(text)
+
+
+def test_generate_writes_package(tmp_path):
+    gen = make_generator()
+    report = gen.generate(OptionSet(SPECS), str(tmp_path), package="mypkg")
+    assert (tmp_path / "mypkg" / "widgets.py").exists()
+    assert (tmp_path / "mypkg" / "__init__.py").exists()
+    assert report.dest.endswith("mypkg")
+
+
+def test_body_options_union():
+    cls = ClassSpec(name="X", doc="", fragments=[
+        Fragment("a = 1", options=("A",)),
+        Fragment("b = 2", options=("B", "A")),
+    ])
+    assert cls.body_options() == ("A", "B")
+
+
+# -- metrics --------------------------------------------------------------------------
+
+
+def test_measure_counts_classes_and_methods():
+    src = '''
+class A:
+    """Doc."""
+
+    def m1(self):
+        pass
+
+    def m2(self):
+        return 1
+
+
+def free():
+    # a comment
+    return 2
+'''
+    m = measure_source(src)
+    assert m.classes == 1
+    assert m.methods == 3  # two methods + one free function
+
+
+def test_measure_ncss_excludes_comments_blanks_docstrings():
+    src = (
+        '"""Module docstring\nspanning lines."""\n'
+        "\n"
+        "# comment\n"
+        "x = 1\n"
+        "y = 2  # trailing comment still code\n"
+    )
+    m = measure_source(src)
+    assert m.ncss == 2
+
+
+def test_measure_paths(tmp_path):
+    (tmp_path / "a.py").write_text("x = 1\n")
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    (sub / "b.py").write_text("y = 1\nz = 2\n")
+    (sub / "ignored.txt").write_text("not python\n")
+    from repro.co2p3s import measure_paths
+
+    m = measure_paths([str(tmp_path)])
+    assert m.ncss == 3 and m.files == 2

@@ -1,0 +1,298 @@
+"""Tests for the FTP session state machine and auth."""
+
+import pytest
+
+from repro.ftp import (
+    AuthError,
+    FtpSession,
+    User,
+    UserRegistry,
+    VirtualFS,
+)
+
+
+@pytest.fixture
+def fs():
+    v = VirtualFS()
+    v.makedirs("/pub")
+    v.makedirs("/home/alice")
+    v.write_file("/pub/file.txt", b"public data")
+    return v
+
+
+@pytest.fixture
+def users():
+    reg = UserRegistry(allow_anonymous=True)
+    reg.add(User(name="alice", password="secret", home="/home/alice"))
+    return reg
+
+
+@pytest.fixture
+def session(fs, users):
+    return FtpSession(fs, users, on_pasv=lambda: ("127.0.0.1", 40000))
+
+
+def send(session, line):
+    return session.handle_command(line if isinstance(line, bytes)
+                                  else line.encode())
+
+
+def login(session, user=b"anonymous", password=b"guest@"):
+    send(session, b"USER " + user)
+    return send(session, b"PASS " + password)
+
+
+def code(result):
+    return int(result.replies[0][:3])
+
+
+# -- auth -------------------------------------------------------------------
+
+
+def test_greeting(session):
+    assert session.greeting().startswith(b"220 ")
+
+
+def test_anonymous_login(session):
+    r = send(session, "USER anonymous")
+    assert code(r) == 331
+    r = send(session, "PASS whatever")
+    assert code(r) == 230
+    assert session.logged_in
+    assert session.cwd == "/pub"
+
+
+def test_password_checked(session):
+    send(session, "USER alice")
+    assert code(send(session, "PASS wrong")) == 530
+    send(session, "USER alice")
+    assert code(send(session, "PASS secret")) == 230
+    assert session.cwd == "/home/alice"
+
+
+def test_pass_without_user(session):
+    assert code(send(session, "PASS x")) == 503
+
+
+def test_unknown_user_rejected(session):
+    send(session, "USER mallory")
+    assert code(send(session, "PASS x")) == 530
+
+
+def test_commands_require_login(session):
+    for cmd in ("PWD", "CWD /", "LIST", "RETR f", "SIZE f", "PASV"):
+        assert code(send(session, cmd)) == 530
+
+
+def test_session_limit(fs):
+    reg = UserRegistry(allow_anonymous=False)
+    reg.add(User(name="bob", password="pw", max_sessions=1))
+    s1 = FtpSession(fs, reg)
+    login(s1, b"bob", b"pw")
+    s2 = FtpSession(fs, reg)
+    assert code(login(s2, b"bob", b"pw")) == 530
+    send(s1, "QUIT")
+    s3 = FtpSession(fs, reg)
+    assert code(login(s3, b"bob", b"pw")) == 230
+
+
+def test_registry_authenticate_errors():
+    reg = UserRegistry(allow_anonymous=False)
+    with pytest.raises(AuthError):
+        reg.authenticate("ghost", "x")
+
+
+# -- simple commands -----------------------------------------------------------
+
+
+def test_quit(session):
+    login(session)
+    r = send(session, "QUIT")
+    assert code(r) == 221 and r.close
+    assert session.closed
+
+
+def test_noop_syst_feat_help(session):
+    assert code(send(session, "NOOP")) == 200
+    assert code(send(session, "SYST")) == 215
+    assert b"PASV" in send(session, "FEAT").wire
+    assert b"RETR" in send(session, "HELP").wire
+
+
+def test_type_and_mode(session):
+    assert code(send(session, "TYPE I")) == 200
+    assert session.type == "I"
+    assert code(send(session, "TYPE X")) == 501
+    assert code(send(session, "MODE S")) == 200
+    assert code(send(session, "MODE B")) == 502
+    assert code(send(session, "STRU F")) == 200
+    assert code(send(session, "STRU R")) == 502
+
+
+def test_unknown_command(session):
+    assert code(send(session, "XYZZY")) == 500
+
+
+def test_empty_line(session):
+    assert code(send(session, b"\r\n")) == 500
+
+
+# -- directories ------------------------------------------------------------------
+
+
+def test_pwd_cwd_cdup(session):
+    login(session)
+    assert b'"/pub"' in send(session, "PWD").wire
+    fssession = session.fs
+    fssession.makedirs("/pub/sub")
+    assert code(send(session, "CWD sub")) == 250
+    assert session.cwd == "/pub/sub"
+    assert code(send(session, "CDUP")) == 250
+    assert session.cwd == "/pub"
+
+
+def test_cwd_missing(session):
+    login(session)
+    assert code(send(session, "CWD nowhere")) == 550
+
+
+def test_mkd_rmd_permissions(session):
+    login(session)  # anonymous: not writable
+    assert code(send(session, "MKD newdir")) == 550
+    alice = FtpSession(session.fs, session.users,
+                       on_pasv=lambda: ("127.0.0.1", 0))
+    login(alice, b"alice", b"secret")
+    assert code(send(alice, "MKD work")) == 257
+    assert session.fs.is_dir("/home/alice/work")
+    assert code(send(alice, "RMD work")) == 250
+
+
+def test_write_outside_home_denied(fs, users):
+    alice = FtpSession(fs, users)
+    login(alice, b"alice", b"secret")
+    assert code(send(alice, "DELE /pub/file.txt")) == 550
+    assert fs.exists("/pub/file.txt")
+
+
+def test_rename_sequence(fs, users):
+    alice = FtpSession(fs, users)
+    login(alice, b"alice", b"secret")
+    fs.write_file("/home/alice/a.txt", b"data")
+    assert code(send(alice, "RNFR a.txt")) == 350
+    assert code(send(alice, "RNTO b.txt")) == 250
+    assert fs.exists("/home/alice/b.txt")
+
+
+def test_rnto_without_rnfr(session):
+    login(session)
+    assert code(send(session, "RNTO x")) == 503
+
+
+def test_rnfr_interrupted_by_other_command(fs, users):
+    alice = FtpSession(fs, users)
+    login(alice, b"alice", b"secret")
+    fs.write_file("/home/alice/a.txt", b"data")
+    send(alice, "RNFR a.txt")
+    send(alice, "NOOP")  # breaks the RNFR/RNTO sequence
+    assert code(send(alice, "RNTO b.txt")) == 503
+
+
+def test_size_and_stat(session):
+    login(session)
+    r = send(session, "SIZE file.txt")
+    assert code(r) == 213 and b"11" in r.wire
+    assert code(send(session, "SIZE missing")) == 550
+    assert b"Working directory" in send(session, "STAT").wire
+
+
+# -- data channel -----------------------------------------------------------------
+
+
+def test_pasv_reply_encodes_address(session):
+    login(session)
+    r = send(session, "PASV")
+    assert code(r) == 227
+    assert b"(127,0,0,1,156,64)" in r.wire  # 40000 = 156*256 + 64
+    assert session.passive
+
+
+def test_port_parses_target(session):
+    login(session)
+    assert code(send(session, "PORT 10,0,0,2,4,1")) == 200
+    assert session.active_target == ("10.0.0.2", 1025)
+    assert code(send(session, "PORT 1,2,3")) == 501
+    assert code(send(session, "PORT 999,0,0,1,0,1")) == 501
+
+
+def test_transfer_requires_data_channel(session):
+    login(session)
+    assert code(send(session, "RETR file.txt")) == 425
+    assert code(send(session, "LIST")) == 425
+
+
+def test_retr_produces_transfer(session):
+    login(session)
+    send(session, "PASV")
+    r = send(session, "RETR file.txt")
+    assert code(r) == 150
+    assert r.transfer.kind == "send"
+    assert r.transfer.payload == b"public data"
+    assert session.transfer_complete(True).startswith(b"226")
+
+
+def test_retr_missing_file(session):
+    login(session)
+    send(session, "PASV")
+    assert code(send(session, "RETR ghost")) == 550
+
+
+def test_list_produces_listing(session):
+    login(session)
+    send(session, "PASV")
+    r = send(session, "LIST")
+    assert code(r) == 150
+    assert b"file.txt" in r.transfer.payload
+
+
+def test_nlst_short_names(session):
+    login(session)
+    send(session, "PASV")
+    r = send(session, "NLST")
+    assert r.transfer.payload == b"file.txt\r\n"
+
+
+def test_stor_sink_writes_file(fs, users):
+    alice = FtpSession(fs, users, on_pasv=lambda: ("127.0.0.1", 1))
+    login(alice, b"alice", b"secret")
+    send(alice, "PASV")
+    r = send(alice, "STOR upload.bin")
+    assert code(r) == 150 and r.transfer.kind == "receive"
+    r.transfer.sink(b"uploaded-bytes")
+    assert fs.read_file("/home/alice/upload.bin") == b"uploaded-bytes"
+    assert alice.transfer_complete(True).startswith(b"226")
+
+
+def test_appe_appends(fs, users):
+    alice = FtpSession(fs, users, on_pasv=lambda: ("127.0.0.1", 1))
+    login(alice, b"alice", b"secret")
+    fs.write_file("/home/alice/log", b"one")
+    send(alice, "PASV")
+    r = send(alice, "APPE log")
+    r.transfer.sink(b"+two")
+    assert fs.read_file("/home/alice/log") == b"one+two"
+
+
+def test_stor_denied_for_readonly(session):
+    login(session)  # anonymous
+    send(session, "PASV")
+    assert code(send(session, "STOR up")) == 550
+
+
+def test_transfer_failed_reply(session):
+    assert session.transfer_complete(False).startswith(b"426")
+
+
+def test_pasv_unavailable_without_callback(fs, users):
+    s = FtpSession(fs, users, on_pasv=None)
+    login(s)
+    assert code(send(s, "PASV")) == 502

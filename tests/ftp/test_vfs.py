@@ -1,0 +1,142 @@
+"""Unit tests for the virtual filesystem."""
+
+import pytest
+
+from repro.ftp import VfsError, VirtualFS
+
+
+@pytest.fixture
+def fs():
+    v = VirtualFS()
+    v.makedirs("/pub/docs")
+    v.write_file("/pub/readme.txt", b"hello")
+    return v
+
+
+def test_normalize():
+    assert VirtualFS.normalize("a/b") == "/a/b"
+    assert VirtualFS.normalize("/a/../b") == "/b"
+    assert VirtualFS.normalize("/") == "/"
+    assert VirtualFS.normalize("/a/./b/") == "/a/b"
+
+
+def test_join():
+    assert VirtualFS.join("/pub", "docs") == "/pub/docs"
+    assert VirtualFS.join("/pub", "/abs") == "/abs"
+    assert VirtualFS.join("/pub", "..") == "/"
+    assert VirtualFS.join("/pub", "../../..") == "/"
+
+
+def test_exists_and_types(fs):
+    assert fs.exists("/pub/readme.txt") and fs.is_file("/pub/readme.txt")
+    assert fs.is_dir("/pub/docs") and not fs.is_file("/pub/docs")
+    assert not fs.exists("/nope")
+
+
+def test_read_write_roundtrip(fs):
+    fs.write_file("/pub/new.bin", b"\x00\x01")
+    assert fs.read_file("/pub/new.bin") == b"\x00\x01"
+
+
+def test_overwrite(fs):
+    fs.write_file("/pub/readme.txt", b"v2")
+    assert fs.read_file("/pub/readme.txt") == b"v2"
+
+
+def test_append(fs):
+    fs.append_file("/pub/readme.txt", b" world")
+    assert fs.read_file("/pub/readme.txt") == b"hello world"
+    fs.append_file("/pub/fresh.txt", b"start")
+    assert fs.read_file("/pub/fresh.txt") == b"start"
+
+
+def test_size(fs):
+    assert fs.size("/pub/readme.txt") == 5
+    with pytest.raises(VfsError):
+        fs.size("/pub/docs")
+
+
+def test_listdir_sorted(fs):
+    fs.write_file("/pub/zzz", b"")
+    fs.write_file("/pub/aaa", b"")
+    assert fs.listdir("/pub") == ["aaa", "docs", "readme.txt", "zzz"]
+
+
+def test_listdir_on_file_raises(fs):
+    with pytest.raises(VfsError):
+        fs.listdir("/pub/readme.txt")
+
+
+def test_list_long_format(fs):
+    lines = fs.list_long("/pub")
+    assert any(line.startswith("drwx") and line.endswith("docs")
+               for line in lines)
+    assert any(line.startswith("-rw-") and line.endswith("readme.txt")
+               for line in lines)
+
+
+def test_mkdir_rmdir(fs):
+    fs.mkdir("/pub/sub")
+    assert fs.is_dir("/pub/sub")
+    fs.rmdir("/pub/sub")
+    assert not fs.exists("/pub/sub")
+
+
+def test_mkdir_existing_raises(fs):
+    with pytest.raises(VfsError):
+        fs.mkdir("/pub")
+
+
+def test_rmdir_nonempty_raises(fs):
+    with pytest.raises(VfsError):
+        fs.rmdir("/pub")
+
+
+def test_makedirs_idempotent(fs):
+    fs.makedirs("/a/b/c")
+    fs.makedirs("/a/b/c")
+    assert fs.is_dir("/a/b/c")
+
+
+def test_delete(fs):
+    fs.delete("/pub/readme.txt")
+    assert not fs.exists("/pub/readme.txt")
+    with pytest.raises(VfsError):
+        fs.delete("/pub/readme.txt")
+    with pytest.raises(VfsError):
+        fs.delete("/pub/docs")  # directories use rmdir
+
+
+def test_rename(fs):
+    fs.rename("/pub/readme.txt", "/pub/docs/moved.txt")
+    assert fs.read_file("/pub/docs/moved.txt") == b"hello"
+    assert not fs.exists("/pub/readme.txt")
+
+
+def test_rename_onto_existing_raises(fs):
+    fs.write_file("/pub/other", b"x")
+    with pytest.raises(VfsError):
+        fs.rename("/pub/readme.txt", "/pub/other")
+
+
+def test_write_into_missing_dir_raises(fs):
+    with pytest.raises(VfsError):
+        fs.write_file("/no/such/dir/f", b"x")
+
+
+def test_root_is_protected(fs):
+    with pytest.raises(VfsError):
+        fs.rmdir("/")
+    with pytest.raises(VfsError):
+        fs.delete("/")
+
+
+def test_walk(fs):
+    paths = list(fs.walk("/"))
+    assert "/" in paths and "/pub" in paths and "/pub/readme.txt" in paths
+    assert paths[0] == "/"
+
+
+def test_traversal_cannot_escape_root(fs):
+    assert fs.join("/pub", "../../../../etc") == "/etc"
+    assert not fs.exists("/etc")  # nothing outside the virtual tree

@@ -1,0 +1,246 @@
+"""Unit tests for the HTTP protocol library."""
+
+import pytest
+
+from repro.http import (
+    BadRequest,
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    error_response,
+    guess_type,
+    parse_request,
+    reason_phrase,
+    split_request,
+)
+
+
+# -- headers -------------------------------------------------------------------
+
+
+def test_headers_case_insensitive_lookup():
+    h = Headers([("Content-Type", "text/html")])
+    assert h.get("content-type") == "text/html"
+    assert "CONTENT-TYPE" in h
+
+
+def test_headers_set_replaces_all():
+    h = Headers([("X", "1"), ("x", "2")])
+    h.set("X", "3")
+    assert h.get_all("x") == ["3"]
+
+
+def test_headers_preserve_order_and_spelling():
+    h = Headers([("Host", "a"), ("Accept", "b")])
+    assert list(h) == [("Host", "a"), ("Accept", "b")]
+    assert h.encode() == b"Host: a\r\nAccept: b\r\n"
+
+
+def test_headers_remove_and_default():
+    h = Headers([("A", "1")])
+    h.remove("a")
+    assert h.get("A", "fallback") == "fallback"
+    assert len(h) == 0
+
+
+def test_headers_equality_folds_case():
+    assert Headers([("A", "1")]) == Headers([("a", "1")])
+    assert Headers([("A", "1")]) != Headers([("A", "2")])
+
+
+# -- request model -----------------------------------------------------------------
+
+
+def test_request_path_and_query():
+    r = HttpRequest("GET", "/dir/file%20name.html?x=1&y=2", "HTTP/1.1")
+    assert r.path == "/dir/file name.html"
+    assert r.query == "x=1&y=2"
+
+
+def test_keep_alive_defaults():
+    r11 = HttpRequest("GET", "/", "HTTP/1.1")
+    r10 = HttpRequest("GET", "/", "HTTP/1.0")
+    assert r11.keep_alive and not r10.keep_alive
+
+
+def test_keep_alive_overrides():
+    r11 = HttpRequest("GET", "/", "HTTP/1.1",
+                      Headers([("Connection", "close")]))
+    r10 = HttpRequest("GET", "/", "HTTP/1.0",
+                      Headers([("Connection", "Keep-Alive")]))
+    assert not r11.keep_alive and r10.keep_alive
+
+
+def test_validate_rejects_unknown_method():
+    with pytest.raises(BadRequest) as exc:
+        HttpRequest("BREW", "/", "HTTP/1.1",
+                    Headers([("Host", "x")])).validate()
+    assert exc.value.status == 501
+
+
+def test_validate_rejects_bad_version():
+    with pytest.raises(BadRequest) as exc:
+        HttpRequest("GET", "/", "HTTP/2.0").validate()
+    assert exc.value.status == 505
+
+
+def test_validate_requires_host_for_11():
+    with pytest.raises(BadRequest):
+        HttpRequest("GET", "/", "HTTP/1.1").validate()
+    HttpRequest("GET", "/", "HTTP/1.0").validate()  # 1.0: no Host needed
+
+
+def test_validate_rejects_relative_target():
+    with pytest.raises(BadRequest):
+        HttpRequest("GET", "file.html", "HTTP/1.0").validate()
+
+
+# -- parser: framing ---------------------------------------------------------------
+
+
+def test_split_incomplete_returns_none():
+    assert split_request(b"GET / HTTP/1.1\r\nHost: x\r\n") is None
+
+
+def test_split_complete_no_body():
+    raw = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"
+    req, rest = split_request(raw + b"NEXT")
+    assert req == raw and rest == b"NEXT"
+
+
+def test_split_with_content_length_body():
+    raw = b"POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello"
+    req, rest = split_request(raw)
+    assert req.endswith(b"hello") and rest == b""
+
+
+def test_split_waits_for_full_body():
+    partial = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhel"
+    assert split_request(partial) is None
+
+
+def test_split_bare_lf_tolerated():
+    req, rest = split_request(b"GET / HTTP/1.0\n\n")
+    assert req == b"GET / HTTP/1.0\n\n" and rest == b""
+
+
+def test_split_oversized_head_rejected():
+    with pytest.raises(BadRequest) as exc:
+        split_request(b"GET /" + b"a" * 70000)
+    assert exc.value.status == 414
+
+
+def test_split_oversized_body_rejected():
+    with pytest.raises(BadRequest) as exc:
+        split_request(b"POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+    assert exc.value.status == 413
+
+
+def test_split_malformed_content_length():
+    with pytest.raises(BadRequest):
+        split_request(b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n")
+    with pytest.raises(BadRequest):
+        split_request(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+
+
+def test_split_pipelined_requests():
+    one = b"GET /a HTTP/1.1\r\nHost: x\r\n\r\n"
+    two = b"GET /b HTTP/1.1\r\nHost: x\r\n\r\n"
+    req, rest = split_request(one + two)
+    assert req == one and rest == two
+
+
+# -- parser: decoding ------------------------------------------------------------
+
+
+def test_parse_simple_get():
+    r = parse_request(b"GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n")
+    assert r.method == "GET"
+    assert r.target == "/index.html"
+    assert r.version == "HTTP/1.1"
+    assert r.headers.get("Host") == "example.com"
+    assert r.body == b""
+
+
+def test_parse_with_body():
+    r = parse_request(b"POST /x HTTP/1.1\r\nHost: h\r\n"
+                      b"Content-Length: 4\r\n\r\nabcd")
+    assert r.body == b"abcd"
+
+
+def test_parse_lowercases_nothing_but_method_and_version():
+    r = parse_request(b"get /MiXeD http/1.1\r\nhost: H\r\n\r\n")
+    assert r.method == "GET" and r.version == "HTTP/1.1"
+    assert r.target == "/MiXeD"
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(BadRequest):
+        parse_request(b"\r\n\r\n")
+    with pytest.raises(BadRequest):
+        parse_request(b"GET /\r\n\r\n")           # 2-part request line
+    with pytest.raises(BadRequest):
+        parse_request(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n")
+
+
+def test_parse_header_whitespace_stripped():
+    r = parse_request(b"GET / HTTP/1.1\r\nHost:   spaced.example   \r\n\r\n")
+    assert r.headers.get("Host") == "spaced.example"
+
+
+# -- response ---------------------------------------------------------------------
+
+
+def test_response_encode_fills_defaults():
+    wire = HttpResponse(status=200, body=b"hi").encode(date="D")
+    assert wire.startswith(b"HTTP/1.1 200 OK\r\n")
+    assert b"Content-Length: 2\r\n" in wire
+    assert b"Server: " in wire and b"Date: D\r\n" in wire
+    assert wire.endswith(b"\r\n\r\nhi")
+
+
+def test_response_head_only_omits_body_keeps_length():
+    wire = HttpResponse(status=200, body=b"body", head_only=True).encode(date="D")
+    assert b"Content-Length: 4" in wire
+    assert not wire.endswith(b"body")
+
+
+def test_response_custom_headers_not_overwritten():
+    resp = HttpResponse(status=200, body=b"x",
+                        headers=Headers([("Content-Length", "99")]))
+    assert b"Content-Length: 99" in resp.encode(date="D")
+
+
+def test_error_response_shape():
+    resp = error_response(404)
+    assert resp.status == 404
+    assert b"404 Not Found" in resp.body
+    assert resp.headers.get("Content-Type") == "text/html"
+
+
+def test_error_response_close_header():
+    assert error_response(400, close=True).headers.get("Connection") == "close"
+
+
+# -- misc -------------------------------------------------------------------------
+
+
+def test_reason_phrases():
+    assert reason_phrase(200) == "OK"
+    assert reason_phrase(404) == "Not Found"
+    assert reason_phrase(999) == "Unknown"
+
+
+def test_guess_type():
+    assert guess_type("/a/b/index.html") == "text/html"
+    assert guess_type("IMG.JPG") == "image/jpeg"
+    assert guess_type("archive.bin") == "application/octet-stream"
+
+
+def test_parse_roundtrip_through_encode():
+    """A response we encode is parseable by a naive client."""
+    wire = HttpResponse(status=200, body=b"payload").encode(date="D")
+    head, _, body = wire.partition(b"\r\n\r\n")
+    assert body == b"payload"
+    status_line = head.split(b"\r\n")[0]
+    assert status_line == b"HTTP/1.1 200 OK"

@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for cache invariants.
+
+Invariants that must hold for *every* policy under arbitrary operation
+sequences:
+
+* used bytes never exceed capacity;
+* used bytes always equal the sum of live entry sizes;
+* a get after a successful put (with no interleaving puts) hits;
+* hits + misses == number of gets issued.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import Cache, POLICIES, make_policy
+
+KEYS = st.integers(min_value=0, max_value=30)
+SIZES = st.integers(min_value=0, max_value=60)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, SIZES),
+        st.tuples(st.just("get"), KEYS, st.just(0)),
+        st.tuples(st.just("invalidate"), KEYS, st.just(0)),
+    ),
+    max_size=200,
+)
+
+
+@given(policy_name=st.sampled_from(sorted(POLICIES)), operations=ops)
+@settings(max_examples=60, deadline=None)
+def test_accounting_invariants(policy_name, operations):
+    c = Cache(capacity=100, policy=make_policy(policy_name))
+    gets = 0
+    for op, key, size in operations:
+        if op == "put":
+            c.put(key, size)
+        elif op == "get":
+            c.get(key)
+            gets += 1
+        else:
+            c.invalidate(key)
+        assert c.used <= c.capacity
+        assert c.used == sum(e.size for e in c.entries())
+        assert len(c) == len(list(c.entries()))
+    assert c.stats.hits + c.stats.misses == gets
+
+
+@given(policy_name=st.sampled_from(sorted(POLICIES)),
+       key=KEYS, size=st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_put_then_get_hits(policy_name, key, size):
+    c = Cache(capacity=100, policy=make_policy(policy_name))
+    if c.put(key, size):
+        assert c.get(key) is not None
+
+
+@given(operations=ops)
+@settings(max_examples=60, deadline=None)
+def test_lru_matches_reference_model(operations):
+    """Differential test: our LRU against a simple ordered-dict model."""
+    from collections import OrderedDict
+
+    c = Cache(capacity=100, policy=make_policy("LRU"))
+    model: OrderedDict = OrderedDict()
+    used = 0
+
+    def model_put(key, size):
+        nonlocal used
+        if key in model:
+            used -= model.pop(key)
+        if size > 100:
+            return
+        while used + size > 100:
+            _, s = model.popitem(last=False)
+            used -= s
+        model[key] = size
+        used += size
+
+    for op, key, size in operations:
+        if op == "put":
+            c.put(key, size)
+            model_put(key, size)
+        elif op == "get":
+            hit = c.get(key) is not None
+            assert hit == (key in model)
+            if key in model:
+                model.move_to_end(key)
+        else:
+            c.invalidate(key)
+            if key in model:
+                used -= model.pop(key)
+        assert set(model) == {e.key for e in c.entries()}

@@ -1,0 +1,98 @@
+"""Property-based tests for the HTTP protocol library.
+
+* framing + parsing round-trips arbitrary well-formed requests;
+* the framing function never loses or invents bytes;
+* the parser never crashes on arbitrary byte garbage — it either parses
+  or raises BadRequest;
+* response encoding always produces a parseable head with a correct
+  Content-Length.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.http import (
+    BadRequest,
+    Headers,
+    HttpResponse,
+    parse_request,
+    split_request,
+)
+
+TOKEN = st.text(alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_", min_size=1, max_size=16)
+PATH = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789/._-", min_size=1, max_size=40).map(lambda s: "/" + s)
+HEADER_VALUE = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789 .;=,-", min_size=0, max_size=30)
+BODY = st.binary(max_size=200)
+
+
+@st.composite
+def wire_requests(draw):
+    method = draw(st.sampled_from(["GET", "HEAD", "POST", "PUT"]))
+    path = draw(PATH)
+    headers = draw(st.lists(st.tuples(TOKEN, HEADER_VALUE), max_size=5))
+    body = draw(BODY) if method in ("POST", "PUT") else b""
+    lines = [f"{method} {path} HTTP/1.1", "Host: example.test"]
+    for name, value in headers:
+        if name.lower() in ("content-length", "host"):
+            continue
+        lines.append(f"{name}: {value}")
+    if body:
+        lines.append(f"Content-Length: {len(body)}")
+    wire = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+    return wire, method, path, body
+
+
+@given(req=wire_requests(), trailing=st.binary(max_size=50))
+@settings(max_examples=120, deadline=None)
+def test_framing_roundtrip(req, trailing):
+    wire, method, path, body = req
+    framed, rest = split_request(wire + trailing)
+    assert framed == wire
+    assert rest == trailing
+    parsed = parse_request(framed)
+    assert parsed.method == method
+    assert parsed.target == path
+    assert parsed.body == body
+
+
+@given(req=wire_requests())
+@settings(max_examples=60, deadline=None)
+def test_framing_conserves_bytes(req):
+    wire = req[0]
+    framed, rest = split_request(wire + wire)   # two pipelined copies
+    assert framed + rest == wire + wire
+
+
+@given(garbage=st.binary(max_size=300))
+@settings(max_examples=200, deadline=None)
+def test_parser_never_crashes(garbage):
+    try:
+        result = split_request(garbage)
+    except BadRequest:
+        return
+    if result is None:
+        return
+    framed, _rest = result
+    try:
+        parse_request(framed)
+    except BadRequest:
+        pass
+
+
+@given(status=st.sampled_from([200, 204, 301, 404, 500]),
+       body=st.binary(max_size=500),
+       names=st.lists(TOKEN, max_size=4, unique_by=str.lower))
+@settings(max_examples=80, deadline=None)
+def test_response_encode_head_is_wellformed(status, body, names):
+    headers = Headers([(n, "v") for n in names
+                       if n.lower() not in ("content-length", "server", "date")])
+    wire = HttpResponse(status=status, headers=headers, body=body).encode(date="D")
+    head, sep, got_body = wire.partition(b"\r\n\r\n")
+    assert sep == b"\r\n\r\n"
+    assert got_body == body
+    status_line = head.split(b"\r\n")[0].decode()
+    assert status_line.startswith("HTTP/1.1 ")
+    assert str(status) in status_line
+    for line in head.split(b"\r\n")[1:]:
+        assert b": " in line
+        if line.lower().startswith(b"content-length"):
+            assert int(line.split(b":")[1]) == len(body)

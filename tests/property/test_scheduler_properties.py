@@ -1,0 +1,113 @@
+"""Property-based tests for the quota priority queue (option O8).
+
+Invariants:
+
+* no item is ever lost or duplicated;
+* FIFO within a priority level;
+* with every level continuously backlogged, long-run service counts
+  match the quota ratio exactly;
+* starvation freedom: any queued item is served within one full round
+  of the quota cycle.
+"""
+
+from collections import defaultdict, deque
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import QuotaPriorityQueue
+
+LEVELS = st.integers(min_value=0, max_value=3)
+QUOTAS = st.dictionaries(LEVELS, st.integers(min_value=1, max_value=5),
+                         min_size=1, max_size=4)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), LEVELS),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    max_size=300,
+)
+
+
+@given(quotas=QUOTAS, operations=ops)
+@settings(max_examples=80, deadline=None)
+def test_no_loss_no_duplication(quotas, operations):
+    q = QuotaPriorityQueue(quotas)
+    pushed = []
+    popped = []
+    counter = 0
+    for op, level in operations:
+        if op == "push":
+            item = (level, counter)
+            counter += 1
+            q.push(item, priority=level)
+            pushed.append(item)
+        else:
+            item = q.try_pop()
+            if item is not None:
+                popped.append(item)
+    # Drain the rest.
+    while True:
+        item = q.try_pop()
+        if item is None:
+            break
+        popped.append(item)
+    assert sorted(popped) == sorted(pushed)
+    assert len(popped) == len(set(popped))
+
+
+@given(quotas=QUOTAS, pushes=st.lists(LEVELS, max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_fifo_within_level(quotas, pushes):
+    q = QuotaPriorityQueue(quotas)
+    for i, level in enumerate(pushes):
+        q.push((level, i), priority=level)
+    seen_per_level = defaultdict(list)
+    while True:
+        item = q.try_pop()
+        if item is None:
+            break
+        seen_per_level[item[0]].append(item[1])
+    for level, seq in seen_per_level.items():
+        assert seq == sorted(seq)
+
+
+@given(quotas=st.dictionaries(st.integers(0, 2),
+                              st.integers(min_value=1, max_value=6),
+                              min_size=2, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_backlogged_service_matches_quota_ratio(quotas):
+    q = QuotaPriorityQueue(quotas)
+    rounds = 50
+    per_round = sum(quotas.values())
+    # Backlog every level deeply.
+    for level in quotas:
+        for i in range(rounds * quotas[level] + 10):
+            q.push((level, i), priority=level)
+    served = defaultdict(int)
+    for _ in range(rounds * per_round):
+        item = q.try_pop()
+        served[item[0]] += 1
+    for level, quota in quotas.items():
+        assert served[level] == rounds * quota
+
+
+@given(quotas=st.dictionaries(st.integers(0, 2),
+                              st.integers(min_value=1, max_value=4),
+                              min_size=2, max_size=3),
+       burst=st.integers(min_value=1, max_value=50))
+@settings(max_examples=40, deadline=None)
+def test_starvation_freedom(quotas, burst):
+    """A low-priority item queued behind a high-priority flood is served
+    within one quota cycle."""
+    q = QuotaPriorityQueue(quotas)
+    low = min(quotas)
+    high = max(quotas)
+    if low == high:
+        return
+    q.push("victim", priority=low)
+    for i in range(burst * 10):
+        q.push(("flood", i), priority=high)
+    cycle = sum(quotas.values())
+    served = [q.try_pop() for _ in range(cycle + 1)]
+    assert "victim" in served

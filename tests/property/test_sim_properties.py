@@ -1,0 +1,90 @@
+"""Property-based tests for the DES kernel's resources and stores."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+@given(capacity=st.integers(1, 5),
+       holds=st.lists(st.floats(min_value=0.01, max_value=2.0,
+                                allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    peak = {"users": 0}
+
+    def worker(hold):
+        req = res.request()
+        yield req
+        peak["users"] = max(peak["users"], res.count)
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for hold in holds:
+        sim.process(worker(hold))
+    sim.run()
+    assert peak["users"] <= capacity
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+@given(capacity=st.integers(1, 4),
+       holds=st.lists(st.floats(min_value=0.1, max_value=1.0,
+                                allow_nan=False), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_resource_work_conserving(capacity, holds):
+    """Total makespan is at least total-work/capacity and at most
+    total work (work-conserving FIFO bounds)."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+
+    def worker(hold):
+        req = res.request()
+        yield req
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for hold in holds:
+        sim.process(worker(hold))
+    sim.run()
+    total = sum(holds)
+    assert sim.now >= total / capacity - 1e-9
+    assert sim.now <= total + 1e-9
+
+
+@given(items=st.lists(st.integers(), max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_store_fifo_conservation(items):
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(n):
+        for _ in range(n):
+            value = yield store.get()
+            got.append(value)
+
+    sim.process(consumer(len(items)))
+    for item in items:
+        store.put(item)
+    sim.run()
+    assert got == list(items)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                 allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_clock_monotone_and_ends_at_max(delays):
+    sim = Simulator()
+    seen = []
+
+    def proc(d):
+        yield sim.timeout(d)
+        seen.append(sim.now)
+
+    for d in delays:
+        sim.process(proc(d))
+    sim.run()
+    assert seen == sorted(seen)
+    assert sim.now == max(delays)

@@ -1,0 +1,113 @@
+"""Differential property test: the FTP virtual filesystem against a
+plain-dict reference model under random operation sequences."""
+
+import posixpath
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ftp import VfsError, VirtualFS
+
+NAMES = st.sampled_from(["a", "b", "c", "dir1", "dir2", "f.txt"])
+PATHS = st.lists(NAMES, min_size=1, max_size=3).map(
+    lambda parts: "/" + "/".join(parts))
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("mkdir"), PATHS, st.just(b"")),
+        st.tuples(st.just("write"), PATHS, st.binary(max_size=16)),
+        st.tuples(st.just("delete"), PATHS, st.just(b"")),
+        st.tuples(st.just("rmdir"), PATHS, st.just(b"")),
+        st.tuples(st.just("read"), PATHS, st.just(b"")),
+    ),
+    max_size=60,
+)
+
+
+class DictModel:
+    """Reference: files dict + dirs set, same semantics as VirtualFS."""
+
+    def __init__(self):
+        self.files = {}
+        self.dirs = {"/"}
+
+    def parent_ok(self, path):
+        return posixpath.dirname(path) in self.dirs
+
+    def mkdir(self, path):
+        if path in self.dirs or path in self.files:
+            raise VfsError("exists")
+        if not self.parent_ok(path):
+            raise VfsError("no parent")
+        self.dirs.add(path)
+
+    def write(self, path, data):
+        if path in self.dirs:
+            raise VfsError("is dir")
+        if not self.parent_ok(path):
+            raise VfsError("no parent")
+        self.files[path] = data
+
+    def delete(self, path):
+        if path in self.dirs:
+            raise VfsError("is dir")
+        if path not in self.files:
+            raise VfsError("missing")
+        del self.files[path]
+
+    def rmdir(self, path):
+        if path == "/":
+            raise VfsError("root")
+        if path not in self.dirs:
+            raise VfsError("not dir")
+        if any(d != path and d.startswith(path + "/") for d in self.dirs) or \
+                any(f.startswith(path + "/") for f in self.files):
+            raise VfsError("not empty")
+        self.dirs.discard(path)
+
+    def read(self, path):
+        if path not in self.files:
+            raise VfsError("missing")
+        return self.files[path]
+
+
+@given(operations=OPS)
+@settings(max_examples=150, deadline=None)
+def test_vfs_matches_reference_model(operations):
+    fs = VirtualFS()
+    model = DictModel()
+    for op, path, data in operations:
+        fs_err = model_err = None
+        fs_val = model_val = None
+        try:
+            if op == "mkdir":
+                fs.mkdir(path)
+            elif op == "write":
+                fs.write_file(path, data)
+            elif op == "delete":
+                fs.delete(path)
+            elif op == "rmdir":
+                fs.rmdir(path)
+            else:
+                fs_val = fs.read_file(path)
+        except VfsError:
+            fs_err = True
+        try:
+            if op == "mkdir":
+                model.mkdir(path)
+            elif op == "write":
+                model.write(path, data)
+            elif op == "delete":
+                model.delete(path)
+            elif op == "rmdir":
+                model.rmdir(path)
+            else:
+                model_val = model.read(path)
+        except VfsError:
+            model_err = True
+        assert fs_err == model_err, (op, path, fs_err, model_err)
+        assert fs_val == model_val
+    # Final state agreement.
+    for path, data in model.files.items():
+        assert fs.read_file(path) == data
+    for path in model.dirs:
+        assert fs.is_dir(path)

@@ -1,0 +1,203 @@
+"""Unit tests for EventDispatcher routing and the Acceptor/Connector."""
+
+import socket
+import time
+
+import pytest
+
+from repro.runtime import (
+    Acceptor,
+    Connector,
+    EventDispatcher,
+    EventKind,
+    ListenHandle,
+    NullEventSource,
+    OverloadController,
+    QueueEventSource,
+    SocketEventSource,
+    TimerEvent,
+    UserEvent,
+)
+
+
+# -- dispatcher ----------------------------------------------------------------
+
+
+def make_dispatcher():
+    source = QueueEventSource(NullEventSource())
+    return source, EventDispatcher(source, poll_timeout=0.01)
+
+
+def test_routes_by_kind():
+    source, dispatcher = make_dispatcher()
+    got = {"user": [], "timer": []}
+    dispatcher.route(EventKind.USER, lambda e: got["user"].append(e.payload))
+    dispatcher.route(EventKind.TIMER, lambda e: got["timer"].append(e.payload))
+    source.post(UserEvent(payload="u"))
+    source.post(TimerEvent(payload="t"))
+    dispatcher.poll_once(timeout=0.0)
+    assert got == {"user": ["u"], "timer": ["t"]}
+    assert dispatcher.dispatched == 2
+
+
+def test_default_route_catches_unrouted():
+    source, dispatcher = make_dispatcher()
+    fallback = []
+    dispatcher.route_default(fallback.append)
+    source.post(UserEvent(payload="x"))
+    dispatcher.poll_once(timeout=0.0)
+    assert len(fallback) == 1
+
+
+def test_unrouted_counted_not_crashing():
+    source, dispatcher = make_dispatcher()
+    source.post(UserEvent())
+    dispatcher.poll_once(timeout=0.0)
+    assert dispatcher.unrouted == 1
+
+
+def test_thread_count_validation():
+    with pytest.raises(ValueError):
+        EventDispatcher(NullEventSource(), threads=0)
+
+
+def test_background_loop_dispatches():
+    source, dispatcher = make_dispatcher()
+    got = []
+    dispatcher.route(EventKind.USER, lambda e: got.append(e.payload))
+    dispatcher.start()
+    try:
+        source.post(UserEvent(payload=1))
+        deadline = time.monotonic() + 2
+        while not got and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert got == [1]
+    finally:
+        dispatcher.stop()
+    assert not dispatcher.running
+
+
+def test_start_stop_idempotent():
+    _, dispatcher = make_dispatcher()
+    dispatcher.start()
+    dispatcher.start()
+    dispatcher.stop()
+    dispatcher.stop()
+
+
+# -- acceptor --------------------------------------------------------------------
+
+
+def test_acceptor_accepts_and_wires_connection():
+    source = SocketEventSource()
+    listen = ListenHandle()
+    conns = []
+    acceptor = Acceptor(listen, source, on_connection=conns.append)
+    acceptor.open()
+    client = socket.create_connection(("127.0.0.1", listen.port), timeout=2)
+    try:
+        deadline = time.monotonic() + 2
+        while not conns and time.monotonic() < deadline:
+            for event in source.poll(0.05):
+                if event.kind == EventKind.ACCEPT:
+                    acceptor.handle(event)
+        assert len(conns) == 1
+        assert acceptor.accepted == 1
+    finally:
+        client.close()
+        acceptor.close()
+        source.close()
+
+
+def test_acceptor_postpones_when_overloaded():
+    source = SocketEventSource()
+    listen = ListenHandle()
+    conns = []
+    # A watched queue that is permanently over its watermark.
+    from repro.runtime import Watermark
+
+    overload = OverloadController()
+    overload.watch("q", probe=lambda: 100, mark=Watermark(high=20, low=5))
+    acceptor = Acceptor(listen, source, on_connection=conns.append,
+                        overload=overload)
+    acceptor.open()
+    client = socket.create_connection(("127.0.0.1", listen.port), timeout=2)
+    try:
+        deadline = time.monotonic() + 1
+        while time.monotonic() < deadline:
+            for event in source.poll(0.05):
+                if event.kind == EventKind.ACCEPT:
+                    acceptor.handle(event)
+        assert conns == []
+        assert acceptor.postponed > 0
+    finally:
+        client.close()
+        acceptor.close()
+        source.close()
+
+
+def test_acceptor_drains_burst():
+    source = SocketEventSource()
+    listen = ListenHandle()
+    conns = []
+    acceptor = Acceptor(listen, source, on_connection=conns.append)
+    acceptor.open()
+    clients = [socket.create_connection(("127.0.0.1", listen.port), timeout=2)
+               for _ in range(5)]
+    try:
+        deadline = time.monotonic() + 2
+        while len(conns) < 5 and time.monotonic() < deadline:
+            for event in source.poll(0.05):
+                if event.kind == EventKind.ACCEPT:
+                    acceptor.handle(event)
+        assert len(conns) == 5
+    finally:
+        for c in clients:
+            c.close()
+        acceptor.close()
+        source.close()
+
+
+# -- connector -----------------------------------------------------------------------
+
+
+def test_connector_establishes_outbound():
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    connector = Connector(timeout=2.0)
+    handle = connector.connect("127.0.0.1", port)
+    try:
+        server_side, _ = listener.accept()
+        handle.out_buffer.extend(b"ping")
+        handle.try_send()
+        server_side.settimeout(2)
+        assert server_side.recv(4) == b"ping"
+        server_side.close()
+        assert connector.connected == 1
+    finally:
+        handle.close()
+        listener.close()
+
+
+def test_connector_refused():
+    connector = Connector(timeout=0.5)
+    with pytest.raises(OSError):
+        connector.connect("127.0.0.1", 1)  # nothing listens there
+
+
+def test_connector_custom_handle_class():
+    from repro.runtime import SocketHandle
+
+    class MyHandle(SocketHandle):
+        pass
+
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    connector = Connector(timeout=2.0, handle_cls=MyHandle)
+    handle = connector.connect("127.0.0.1", listener.getsockname()[1])
+    assert isinstance(handle, MyHandle)
+    handle.close()
+    listener.close()

@@ -1,0 +1,103 @@
+"""Tests for the watermark overload controller (option O9)."""
+
+import pytest
+
+from repro.runtime import OverloadController, Watermark
+
+
+def test_watermark_validation():
+    with pytest.raises(ValueError):
+        Watermark(high=5, low=5)
+    with pytest.raises(ValueError):
+        Watermark(high=5, low=-1)
+    Watermark(high=20, low=5)  # the Fig 6 configuration
+
+
+def test_accepts_when_nothing_watched():
+    assert OverloadController().accepting()
+
+
+def test_trips_above_high_watermark():
+    length = {"n": 0}
+    ctl = OverloadController()
+    ctl.watch("q", probe=lambda: length["n"], mark=Watermark(high=20, low=5))
+    length["n"] = 20
+    assert ctl.accepting()          # 20 is not > 20
+    length["n"] = 21
+    assert not ctl.accepting()
+    assert ctl.overloaded_queues() == ["q"]
+
+
+def test_hysteresis_clears_only_below_low():
+    length = {"n": 25}
+    ctl = OverloadController()
+    ctl.watch("q", probe=lambda: length["n"], mark=Watermark(high=20, low=5))
+    assert not ctl.accepting()
+    length["n"] = 10               # between low and high: still tripped
+    assert not ctl.accepting()
+    length["n"] = 4                # below low: clears
+    assert ctl.accepting()
+    assert ctl.overloaded_queues() == []
+
+
+def test_retrips_after_clearing():
+    length = {"n": 0}
+    ctl = OverloadController()
+    ctl.watch("q", probe=lambda: length["n"], mark=Watermark(high=20, low=5))
+    length["n"] = 30
+    assert not ctl.accepting()
+    length["n"] = 0
+    assert ctl.accepting()
+    length["n"] = 30
+    assert not ctl.accepting()
+
+
+def test_multiple_queues_any_trips():
+    cpu = {"n": 0}
+    disk = {"n": 0}
+    ctl = OverloadController()
+    ctl.watch("cpu", probe=lambda: cpu["n"], mark=Watermark(high=20, low=5))
+    ctl.watch("disk", probe=lambda: disk["n"], mark=Watermark(high=10, low=2))
+    disk["n"] = 11                 # disk bottleneck alone blocks accepts
+    assert not ctl.accepting()
+    disk["n"] = 1
+    assert ctl.accepting()
+
+
+def test_connection_cap_mechanism():
+    ctl = OverloadController(max_connections=2)
+    assert ctl.accepting()
+    ctl.connection_opened()
+    ctl.connection_opened()
+    assert not ctl.accepting()
+    ctl.connection_closed()
+    assert ctl.accepting()
+
+
+def test_connection_cap_validation():
+    with pytest.raises(ValueError):
+        OverloadController(max_connections=0)
+
+
+def test_connection_closed_never_negative():
+    ctl = OverloadController()
+    ctl.connection_closed()
+    assert ctl.open_connections == 0
+
+
+def test_postponed_accounting():
+    length = {"n": 100}
+    ctl = OverloadController()
+    ctl.watch("q", probe=lambda: length["n"], mark=Watermark(high=20, low=5))
+    for _ in range(3):
+        ctl.accepting()
+    assert ctl.postponed_accepts == 3
+
+
+def test_unwatch():
+    length = {"n": 100}
+    ctl = OverloadController()
+    ctl.watch("q", probe=lambda: length["n"], mark=Watermark(high=20, low=5))
+    assert not ctl.accepting()
+    ctl.unwatch("q")
+    assert ctl.accepting()

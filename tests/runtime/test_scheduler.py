@@ -1,0 +1,197 @@
+"""Tests for FifoEventQueue and QuotaPriorityQueue (option O8)."""
+
+import threading
+
+import pytest
+
+from repro.runtime import FifoEventQueue, QuotaPriorityQueue
+
+
+# -- FIFO ---------------------------------------------------------------------
+
+
+def test_fifo_order():
+    q = FifoEventQueue()
+    for i in range(5):
+        q.push(i)
+    assert [q.try_pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_fifo_ignores_priority():
+    q = FifoEventQueue()
+    q.push("low", priority=0)
+    q.push("high", priority=99)
+    assert q.try_pop() == "low"
+
+
+def test_fifo_try_pop_empty():
+    assert FifoEventQueue().try_pop() is None
+
+
+def test_fifo_pop_timeout():
+    q = FifoEventQueue()
+    assert q.pop(timeout=0.01) is None
+
+
+def test_fifo_close_unblocks():
+    q = FifoEventQueue()
+    results = []
+
+    def consumer():
+        results.append(q.pop(timeout=5.0))
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    q.close()
+    t.join(timeout=2.0)
+    assert results == [None]
+
+
+def test_fifo_len():
+    q = FifoEventQueue()
+    q.push(1)
+    q.push(2)
+    assert len(q) == 2
+
+
+def test_fifo_blocking_pop_gets_item():
+    q = FifoEventQueue()
+    results = []
+
+    def consumer():
+        results.append(q.pop(timeout=5.0))
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    q.push("item")
+    t.join(timeout=2.0)
+    assert results == ["item"]
+
+
+# -- QuotaPriorityQueue ---------------------------------------------------------
+
+
+def drain(q, n):
+    return [q.try_pop() for _ in range(n)]
+
+
+def test_quota_higher_priority_first():
+    q = QuotaPriorityQueue(quotas={1: 10, 0: 10})
+    q.push("low", priority=0)
+    q.push("high", priority=1)
+    assert q.try_pop() == "high"
+    assert q.try_pop() == "low"
+
+
+def test_quota_ratio_enforced_under_backlog():
+    # Portal (prio 1) quota 4, homepage (prio 0) quota 1 -> 4:1 service.
+    q = QuotaPriorityQueue(quotas={1: 4, 0: 1})
+    for i in range(20):
+        q.push(f"p{i}", priority=1)
+        q.push(f"h{i}", priority=0)
+    first10 = drain(q, 10)
+    portal = sum(1 for x in first10 if x.startswith("p"))
+    home = sum(1 for x in first10 if x.startswith("h"))
+    assert portal == 8 and home == 2
+
+
+def test_quota_no_starvation():
+    q = QuotaPriorityQueue(quotas={1: 100, 0: 1})
+    for i in range(300):
+        q.push(f"p{i}", priority=1)
+    q.push("home", priority=0)
+    got = drain(q, 102)
+    assert "home" in got  # served within the first round+1
+
+
+def test_quota_empty_level_does_not_burn_quota():
+    q = QuotaPriorityQueue(quotas={1: 2, 0: 2})
+    for i in range(4):
+        q.push(f"h{i}", priority=0)
+    # No priority-1 backlog: homepage events flow without stalls.
+    assert drain(q, 4) == ["h0", "h1", "h2", "h3"]
+
+
+def test_quota_round_resets():
+    q = QuotaPriorityQueue(quotas={1: 1, 0: 1})
+    for i in range(3):
+        q.push(f"p{i}", priority=1)
+        q.push(f"h{i}", priority=0)
+    got = drain(q, 6)
+    assert got == ["p0", "h0", "p1", "h1", "p2", "h2"]
+
+
+def test_quota_fifo_within_level():
+    q = QuotaPriorityQueue(quotas={0: 10})
+    for i in range(5):
+        q.push(i, priority=0)
+    assert drain(q, 5) == [0, 1, 2, 3, 4]
+
+
+def test_quota_default_for_unlisted_level():
+    q = QuotaPriorityQueue(quotas={}, default_quota=2)
+    q.push("a", priority=5)
+    q.push("b", priority=5)
+    q.push("c", priority=1)
+    assert drain(q, 3) == ["a", "b", "c"]
+
+
+def test_quota_validation():
+    with pytest.raises(ValueError):
+        QuotaPriorityQueue(quotas={0: 0})
+    with pytest.raises(ValueError):
+        QuotaPriorityQueue(quotas={}, default_quota=0)
+
+
+def test_quota_len_and_backlog():
+    q = QuotaPriorityQueue(quotas={1: 1, 0: 1})
+    q.push("a", priority=1)
+    q.push("b", priority=0)
+    q.push("c", priority=0)
+    assert len(q) == 3
+    assert q.backlog(0) == 2 and q.backlog(1) == 1
+
+
+def test_quota_pop_timeout_and_close():
+    q = QuotaPriorityQueue(quotas={})
+    assert q.pop(timeout=0.01) is None
+    q.close()
+    assert q.pop() is None
+
+
+def test_quota_threaded_producer_consumer():
+    q = QuotaPriorityQueue(quotas={1: 2, 0: 1})
+    got = []
+
+    def consumer():
+        while True:
+            item = q.pop(timeout=1.0)
+            if item is None:
+                return
+            got.append(item)
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    for i in range(30):
+        q.push(("p", i), priority=1)
+        q.push(("h", i), priority=0)
+    import time
+
+    deadline = time.monotonic() + 3.0
+    while len(got) < 60 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    q.close()
+    t.join(timeout=2.0)
+    assert len(got) == 60
+
+
+def test_quota_long_run_ratio_converges():
+    q = QuotaPriorityQueue(quotas={1: 10, 0: 1})
+    for i in range(1100):
+        q.push(("p", i), priority=1)
+    for i in range(110):
+        q.push(("h", i), priority=0)
+    got = drain(q, 550)
+    portal = sum(1 for x in got if x[0] == "p")
+    home = len(got) - portal
+    assert portal / home == pytest.approx(10.0, rel=0.1)

@@ -1,0 +1,282 @@
+"""Integration tests: ReactorServer over real sockets on localhost."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.runtime import (
+    CLOSE,
+    PENDING,
+    ReactorServer,
+    RuntimeConfig,
+    ServerHooks,
+)
+
+
+def request_response(port, payload, expect_newlines=1, timeout=3.0):
+    s = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+    s.settimeout(timeout)
+    try:
+        s.sendall(payload)
+        buf = b""
+        while buf.count(b"\n") < expect_newlines:
+            chunk = s.recv(4096)
+            if not chunk:
+                break
+            buf += chunk
+        return buf
+    finally:
+        s.close()
+
+
+class UpperHooks(ServerHooks):
+    """Newline-framed uppercase server exercising decode/handle/encode."""
+
+    def decode(self, raw, conn):
+        return raw.strip().decode()
+
+    def handle(self, request, conn):
+        return request.upper()
+
+    def encode(self, result, conn):
+        return result.encode() + b"\n"
+
+
+def test_echo_roundtrip():
+    with ReactorServer(ServerHooks(), RuntimeConfig(use_codec=False,
+                                                    async_completions=False)) as srv:
+        assert request_response(srv.port, b"hello\n") == b"hello\n"
+
+
+def test_codec_pipeline():
+    with ReactorServer(UpperHooks(), RuntimeConfig(async_completions=False)) as srv:
+        assert request_response(srv.port, b"hello\n") == b"HELLO\n"
+
+
+def test_multiple_requests_one_connection():
+    with ReactorServer(UpperHooks(), RuntimeConfig(async_completions=False)) as srv:
+        s = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
+        s.settimeout(3)
+        try:
+            for word in (b"one", b"two", b"three"):
+                s.sendall(word + b"\n")
+                buf = b""
+                while not buf.endswith(b"\n"):
+                    buf += s.recv(4096)
+                assert buf == word.upper() + b"\n"
+        finally:
+            s.close()
+
+
+def test_concurrent_clients():
+    with ReactorServer(UpperHooks(), RuntimeConfig(
+            async_completions=False, processor_threads=4)) as srv:
+        results = {}
+
+        def client(i):
+            results[i] = request_response(srv.port, f"client{i}\n".encode())
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert all(results[i] == f"CLIENT{i}".upper().encode() + b"\n"
+                   for i in range(8))
+
+
+def test_close_sentinel_drops_connection():
+    class QuitHooks(ServerHooks):
+        def handle(self, request, conn):
+            return CLOSE if request.strip() == b"quit" else request
+
+    with ReactorServer(QuitHooks(), RuntimeConfig(
+            use_codec=False, async_completions=False)) as srv:
+        s = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
+        s.settimeout(3)
+        s.sendall(b"quit\n")
+        assert s.recv(4096) == b""  # orderly close, no reply
+        s.close()
+
+
+def test_pending_async_reply():
+    class AsyncHooks(ServerHooks):
+        def handle(self, request, conn):
+            threading.Timer(0.05, conn.complete_request,
+                            args=(request.strip().upper() + b"\n",)).start()
+            return PENDING
+
+    with ReactorServer(AsyncHooks(), RuntimeConfig(
+            use_codec=False, async_completions=False)) as srv:
+        assert request_response(srv.port, b"later\n") == b"LATER\n"
+
+
+def test_hook_exception_closes_connection_not_server():
+    class Flaky(ServerHooks):
+        def handle(self, request, conn):
+            if request.strip() == b"die":
+                raise RuntimeError("handler bug")
+            return request
+
+    with ReactorServer(Flaky(), RuntimeConfig(
+            use_codec=False, async_completions=False, profiling=True)) as srv:
+        # First connection crashes its handler...
+        s = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
+        s.settimeout(3)
+        s.sendall(b"die\n")
+        assert s.recv(4096) == b""
+        s.close()
+        # ... but the server still serves new clients.
+        assert request_response(srv.port, b"alive\n") == b"alive\n"
+        assert srv.profiler.snapshot().errors == 1
+
+
+def test_inline_reactor_without_processor_pool():
+    cfg = RuntimeConfig(use_processor_pool=False, use_codec=False,
+                        async_completions=False)
+    with ReactorServer(ServerHooks(), cfg) as srv:
+        assert srv.processor is None
+        assert request_response(srv.port, b"inline\n") == b"inline\n"
+
+
+def test_two_dispatcher_threads():
+    cfg = RuntimeConfig(dispatcher_threads=2, use_codec=False,
+                        async_completions=False)
+    with ReactorServer(ServerHooks(), cfg) as srv:
+        assert request_response(srv.port, b"dual\n") == b"dual\n"
+
+
+def test_large_reply_flushes_through_writable_events():
+    class BigHooks(ServerHooks):
+        def handle(self, request, conn):
+            return b"X" * 1_000_000 + b"\n"
+
+    with ReactorServer(BigHooks(), RuntimeConfig(
+            use_codec=False, async_completions=False)) as srv:
+        s = socket.create_connection(("127.0.0.1", srv.port), timeout=5)
+        s.settimeout(5)
+        s.sendall(b"go\n")
+        total = 0
+        while total < 1_000_001:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            total += len(chunk)
+        s.close()
+        assert total == 1_000_001
+
+
+def test_max_connections_cap():
+    cfg = RuntimeConfig(use_codec=False, async_completions=False,
+                        max_connections=1)
+    with ReactorServer(ServerHooks(), cfg) as srv:
+        s1 = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
+        s1.settimeout(3)
+        s1.sendall(b"first\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            buf += s1.recv(4096)
+        # Second connection connects at TCP level (kernel backlog) but
+        # the server never accepts it while the first is open.
+        s2 = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
+        s2.settimeout(0.3)
+        s2.sendall(b"second\n")
+        with pytest.raises(socket.timeout):
+            s2.recv(4096)
+        s1.close()
+        # After the first closes, the pending connection gets served.
+        time.sleep(0.3)
+        s2.settimeout(3)
+        buf = b""
+        try:
+            while not buf.endswith(b"\n"):
+                chunk = s2.recv(4096)
+                if not chunk:
+                    break
+                buf += chunk
+        except socket.timeout:
+            pass
+        s2.close()
+        assert buf == b"second\n"
+
+
+def test_idle_reaper_closes_idle_connections():
+    cfg = RuntimeConfig(use_codec=False, async_completions=False,
+                        shutdown_long_idle=True, idle_limit=0.2)
+    with ReactorServer(ServerHooks(), cfg) as srv:
+        s = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
+        s.settimeout(3)
+        start = time.monotonic()
+        assert s.recv(4096) == b""  # server reaps us
+        assert time.monotonic() - start < 2.0
+        s.close()
+        assert srv.reaper.reaped == 1
+
+
+def test_profiling_counts_bytes():
+    with ReactorServer(ServerHooks(), RuntimeConfig(
+            use_codec=False, async_completions=False, profiling=True)) as srv:
+        request_response(srv.port, b"12345\n")
+        time.sleep(0.1)
+        snap = srv.profiler.snapshot()
+        assert snap.bytes_read == 6
+        assert snap.bytes_sent == 6
+        assert snap.connections_accepted == 1
+
+
+def test_debug_mode_traces_events():
+    with ReactorServer(ServerHooks(), RuntimeConfig(
+            use_codec=False, async_completions=False, debug_mode=True)) as srv:
+        request_response(srv.port, b"traced\n")
+        time.sleep(0.1)
+        categories = {r.category for r in srv.tracer.records()}
+        assert "read" in categories and "send" in categories
+
+
+def test_event_scheduling_config_builds_priority_queue():
+    from repro.runtime import QuotaPriorityQueue
+
+    cfg = RuntimeConfig(use_codec=False, async_completions=False,
+                        event_scheduling=True, scheduling_quotas={1: 4, 0: 1})
+    with ReactorServer(ServerHooks(), cfg) as srv:
+        assert isinstance(srv.processor.queue, QuotaPriorityQueue)
+        assert request_response(srv.port, b"sched\n") == b"sched\n"
+
+
+def test_file_cache_async_serving(tmp_path):
+    (tmp_path / "page.html").write_bytes(b"<html>cached</html>")
+
+    class FileHooks(ServerHooks):
+        def handle(self, request, conn):
+            server = conn.context["server"]
+            path = request.strip().decode()
+            server.file_io.read_file(
+                path,
+                act=__import__("repro.runtime", fromlist=["AsynchronousCompletionToken"]
+                               ).AsynchronousCompletionToken(
+                    on_complete=lambda ev: conn.complete_request(
+                        (ev.payload if ev.ok else b"ERROR") + b"\n")),
+            )
+            return PENDING
+
+    cfg = RuntimeConfig(use_codec=False, cache_policy="LRU",
+                        document_root=str(tmp_path))
+    with ReactorServer(FileHooks(), cfg) as srv:
+        assert request_response(srv.port, b"/page.html\n") == b"<html>cached</html>\n"
+        assert request_response(srv.port, b"/page.html\n") == b"<html>cached</html>\n"
+        assert srv.cache.stats.hits >= 1
+
+
+def test_stop_is_idempotent():
+    srv = ReactorServer(ServerHooks(), RuntimeConfig(async_completions=False))
+    srv.start()
+    srv.stop()
+    srv.stop()
+
+
+def test_port_before_start_raises():
+    srv = ReactorServer(ServerHooks(), RuntimeConfig(async_completions=False))
+    with pytest.raises(RuntimeError):
+        srv.port

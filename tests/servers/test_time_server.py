@@ -1,0 +1,69 @@
+"""Integration tests for the trivial Time server example."""
+
+import socket
+
+import pytest
+
+from repro.servers import TIME_SERVER_OPTIONS, build_time_server
+
+
+@pytest.fixture(scope="module")
+def server():
+    server, fw, report = build_time_server()
+    server.start()
+    yield server
+    server.stop()
+
+
+def ask(port) -> bytes:
+    s = socket.create_connection(("127.0.0.1", port), timeout=3)
+    s.settimeout(3)
+    try:
+        s.sendall(b"time please\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            buf += s.recv(1024)
+        return buf
+    finally:
+        s.close()
+
+
+def test_returns_a_timestamp(server):
+    reply = ask(server.port)
+    # "YYYY-MM-DD HH:MM:SS\n"
+    assert len(reply.strip()) == 19
+    assert reply[4:5] == b"-" and reply[13:14] == b":"
+
+
+def test_three_step_pipeline(server):
+    assert type(server).pipeline == ("read request", "handle request",
+                                     "send reply")
+
+
+def test_no_codec_classes_generated():
+    import sys
+
+    mod = sys.modules["time_server_fw.handlers"]
+    assert not hasattr(mod, "DecodeRequestEventHandler")
+    assert not hasattr(mod, "EncodeReplyEventHandler")
+
+
+def test_options_record(server):
+    import sys
+
+    assert sys.modules["time_server_fw"].GENERATED_OPTIONS["O3"] is False
+    assert TIME_SERVER_OPTIONS["O4"] == "Synchronous"
+
+
+def test_idle_client_is_dropped():
+    server, fw, report = build_time_server(
+        package="time_server_idle_fw", idle_limit=0.3,
+        idle_scan_interval=0.1)
+    server.start()
+    try:
+        s = socket.create_connection(("127.0.0.1", server.port), timeout=3)
+        s.settimeout(3)
+        assert s.recv(1024) == b""  # reaped without us sending anything
+        s.close()
+    finally:
+        server.stop()

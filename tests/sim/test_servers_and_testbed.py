@@ -1,0 +1,181 @@
+"""Tests for the simulated server models and the testbed harness.
+
+These use short simulated durations — behaviour and invariants, not the
+full calibrated sweeps (those are the benchmarks' job).
+"""
+
+import pytest
+
+from repro.sim.testbed import TestbedConfig, run_testbed
+
+
+def quick(server, clients=16, **kw):
+    defaults = dict(duration=8.0, warmup=2.0, start_stagger=1.0)
+    defaults.update(kw)
+    return run_testbed(TestbedConfig(server=server, clients=clients,
+                                     **defaults))
+
+
+@pytest.mark.parametrize("server", ["cops", "apache", "sped", "mped", "seda"])
+def test_every_model_serves_requests(server):
+    r = quick(server)
+    assert r.total_responses > 0
+    assert r.throughput > 0
+
+
+def test_unknown_server_rejected():
+    with pytest.raises(ValueError):
+        run_testbed(TestbedConfig(server="iis"))
+
+
+def test_throughput_grows_with_clients_under_light_load():
+    r4 = quick("cops", clients=4)
+    r16 = quick("cops", clients=16)
+    assert r16.throughput > 2.5 * r4.throughput
+
+
+def test_closed_loop_light_load_rate():
+    """At light load a client completes ~1/(think+wan+latency) req/s."""
+    r = quick("cops", clients=2, duration=10.0)
+    per_client = r.throughput / 2
+    assert 4.0 < per_client < 7.5
+
+
+def test_fairness_is_one_when_unsaturated():
+    r = quick("apache", clients=8)
+    assert r.fairness > 0.98
+
+
+def test_apache_worker_cap_limits_concurrency():
+    r = quick("apache", clients=64, apache_workers=2, duration=10.0)
+    r_full = quick("apache", clients=64, duration=10.0)
+    assert r.throughput < r_full.throughput * 0.6
+
+
+def test_apache_unfair_when_clients_exceed_capacity():
+    r = quick("apache", clients=96, apache_workers=4, backlog=4,
+              duration=20.0, warmup=4.0)
+    assert r.syn_drops > 0
+    assert r.fairness < 0.9
+
+
+def test_cops_accepts_everyone():
+    r = quick("cops", clients=96, duration=15.0)
+    assert r.syn_drops == 0
+    assert r.fairness > 0.95
+
+
+def test_cops_cache_hits_accumulate():
+    r = quick("cops", clients=16)
+    assert r.cache_hit_rate is not None and r.cache_hit_rate > 0.1
+
+
+def test_cache_disabled_when_policy_none():
+    r = quick("cops", clients=8, cache_policy=None)
+    assert r.cache_hit_rate is None
+    assert r.total_responses > 0
+
+
+def test_os_buffer_hit_rate_reported():
+    r = quick("apache", clients=16)
+    assert 0.0 <= r.os_buffer_hit_rate <= 1.0
+
+
+def test_scheduling_quotas_shift_throughput():
+    classes = {i: ("portal" if i < 16 else "home") for i in range(32)}
+    cfg = TestbedConfig(
+        server="cops", clients=32, duration=10.0, warmup=2.0,
+        start_stagger=1.0, cache_policy=None,
+        processor_threads=1, decode_extra_cpu=0.02,  # queue is the bottleneck
+        client_classes=classes,
+        class_priorities={"portal": 1, "home": 0},
+        scheduling_quotas={1: 4, 0: 1},
+    )
+    r = run_testbed(cfg)
+    portal = r.class_throughput.get("portal", 0)
+    home = r.class_throughput.get("home", 0)
+    assert portal > 1.8 * home
+
+
+def test_overload_control_bounds_response_time():
+    base = dict(duration=12.0, warmup=3.0, start_stagger=1.0,
+                decode_extra_cpu=0.05, clients=64)
+    no_ctl = run_testbed(TestbedConfig(server="cops", overload=False, **base))
+    ctl = run_testbed(TestbedConfig(server="cops", overload=True, **base))
+    assert ctl.response_mean < 0.75 * no_ctl.response_mean
+    assert ctl.throughput > 0.85 * no_ctl.throughput  # not degraded
+
+
+def test_sped_slower_than_mped_when_disk_bound():
+    """SPED blocks the whole loop on disk misses; MPED's helpers hide
+    them.  Tiny OS buffer forces misses."""
+    base = dict(clients=48, duration=12.0, warmup=3.0, start_stagger=1.0,
+                os_buffer_mb=1, app_cache_mb=1, wan_delay=0.01)
+    sped = run_testbed(TestbedConfig(server="sped", **base))
+    mped = run_testbed(TestbedConfig(server="mped", **base))
+    assert mped.throughput > sped.throughput
+
+
+def test_determinism_same_seed_same_result():
+    a = quick("cops", clients=12, seed=7)
+    b = quick("cops", clients=12, seed=7)
+    assert a.total_responses == b.total_responses
+    assert a.throughput == b.throughput
+
+
+def test_different_seed_different_trace():
+    a = quick("cops", clients=12, seed=7)
+    b = quick("cops", clients=12, seed=8)
+    assert a.total_responses != b.total_responses or \
+        a.response_mean != b.response_mean
+
+
+def test_decode_sleep_caps_throughput():
+    r = quick("cops", clients=64, decode_extra_cpu=0.05, duration=10.0)
+    # 4 processor threads x 50 ms decode -> ~80 requests/s ceiling
+    assert r.throughput < 95
+
+
+# -- cluster extension (distributed N-Server, the paper's future work) -------
+
+
+def test_cluster_serves_and_balances():
+    r = quick("cluster", clients=32, cluster_nodes=2, duration=10.0)
+    assert r.total_responses > 0
+    assert r.fairness > 0.95
+
+
+def test_cluster_round_robin_spreads_connections():
+    from repro.sim.testbed import TestbedConfig, build_server
+    from repro.sim import Simulator
+    from repro.sim.disk import Disk
+    from repro.sim.link import Link
+
+    cfg = TestbedConfig(server="cluster", cluster_nodes=4, clients=64,
+                        duration=8.0, warmup=2.0, start_stagger=1.0)
+    r = run_testbed(cfg)
+    assert r.total_responses > 0
+
+
+def test_cluster_throughput_scales_with_nodes():
+    base = dict(clients=128, duration=10.0, warmup=3.0, start_stagger=1.0,
+                cpu_per_request=0.010, bandwidth_bps=1e9, wan_delay=0.05)
+    one = run_testbed(TestbedConfig(server="cluster", cluster_nodes=1, **base))
+    two = run_testbed(TestbedConfig(server="cluster", cluster_nodes=2, **base))
+    assert two.throughput > 1.4 * one.throughput
+
+
+def test_cluster_policy_validation():
+    import pytest as _pytest
+    from repro.sim.servers.cluster import ClusterServer
+    from repro.sim import Simulator
+    from repro.sim.disk import Disk
+    from repro.sim.link import Link
+
+    sim = Simulator()
+    link = Link(sim)
+    disk = Disk(sim)
+    with _pytest.raises(ValueError):
+        ClusterServer(sim, link, disk, nodes=0)
+    with _pytest.raises(ValueError):
+        ClusterServer(sim, link, disk, policy="random-ish")

@@ -1,0 +1,161 @@
+"""Unit tests for the SMTP session state machine and mail store."""
+
+import pytest
+
+from repro.smtp import MailStore, Message, SmtpSession
+
+
+@pytest.fixture
+def session():
+    return SmtpSession(MailStore(), hostname="test-host")
+
+
+def code(reply: bytes) -> int:
+    return int(reply[:3])
+
+
+def test_greeting(session):
+    assert session.greeting().startswith(b"220 test-host")
+
+
+# -- framing --------------------------------------------------------------
+
+
+def test_split_line_mode(session):
+    assert session.split_unit(b"HELO x\r\nNOOP\r\n") == \
+        (b"HELO x\r\n", b"NOOP\r\n")
+    assert session.split_unit(b"HELO incompl") is None
+
+
+def test_split_data_mode(session):
+    session.in_data = True
+    framed, rest = session.split_unit(b"line1\r\nline2\r\n.\r\nNEXT")
+    assert framed == b"line1\r\nline2\r\n.\r\n"
+    assert rest == b"NEXT"
+
+
+def test_split_data_waits_for_terminator(session):
+    session.in_data = True
+    assert session.split_unit(b"partial body\r\n") is None
+
+
+def test_split_empty_data_body(session):
+    session.in_data = True
+    framed, rest = session.split_unit(b".\r\n")
+    assert framed == b".\r\n" and rest == b""
+
+
+# -- command flow ----------------------------------------------------------------
+
+
+def test_full_transaction(session):
+    assert code(session.handle(b"EHLO client\r\n")) == 250
+    assert code(session.handle(b"MAIL FROM:<a@x>\r\n")) == 250
+    assert code(session.handle(b"RCPT TO:<b@y>\r\n")) == 250
+    assert code(session.handle(b"RCPT TO:<c@z>\r\n")) == 250
+    assert code(session.handle(b"DATA\r\n")) == 354
+    assert session.in_data
+    assert code(session.handle(b"Hello\r\n.\r\n")) == 250
+    msgs = session.store.messages_for("b@y")
+    assert len(msgs) == 1
+    assert msgs[0].sender == "a@x"
+    assert msgs[0].recipients == ("b@y", "c@z")
+    assert msgs[0].body == b"Hello"
+
+
+def test_mail_requires_helo(session):
+    assert code(session.handle(b"MAIL FROM:<a@x>\r\n")) == 503
+
+
+def test_rcpt_requires_mail(session):
+    session.handle(b"HELO x\r\n")
+    assert code(session.handle(b"RCPT TO:<b@y>\r\n")) == 503
+
+
+def test_data_requires_rcpt(session):
+    session.handle(b"HELO x\r\n")
+    session.handle(b"MAIL FROM:<a@x>\r\n")
+    assert code(session.handle(b"DATA\r\n")) == 503
+
+
+def test_nested_mail_rejected(session):
+    session.handle(b"HELO x\r\n")
+    session.handle(b"MAIL FROM:<a@x>\r\n")
+    assert code(session.handle(b"MAIL FROM:<other@x>\r\n")) == 503
+
+
+def test_bad_address_syntax(session):
+    session.handle(b"HELO x\r\n")
+    assert code(session.handle(b"MAIL FROM: no-brackets\r\n")) == 501
+    session.handle(b"MAIL FROM:<a@x>\r\n")
+    assert code(session.handle(b"RCPT TO:<no-at-sign>\r\n")) == 501
+
+
+def test_null_sender_allowed(session):
+    """RFC 5321: MAIL FROM:<> is the null reverse-path (bounces)."""
+    session.handle(b"HELO x\r\n")
+    assert code(session.handle(b"MAIL FROM:<>\r\n")) == 250
+
+
+def test_rset_clears_envelope(session):
+    session.handle(b"HELO x\r\n")
+    session.handle(b"MAIL FROM:<a@x>\r\n")
+    session.handle(b"RCPT TO:<b@y>\r\n")
+    assert code(session.handle(b"RSET\r\n")) == 250
+    assert session.sender is None and session.recipients == []
+    assert code(session.handle(b"MAIL FROM:<c@z>\r\n")) == 250
+
+
+def test_envelope_reset_after_delivery(session):
+    session.handle(b"HELO x\r\n")
+    session.handle(b"MAIL FROM:<a@x>\r\n")
+    session.handle(b"RCPT TO:<b@y>\r\n")
+    session.handle(b"DATA\r\n")
+    session.handle(b"m\r\n.\r\n")
+    # A second transaction on the same connection works.
+    assert code(session.handle(b"MAIL FROM:<a@x>\r\n")) == 250
+
+
+def test_dot_unstuffing(session):
+    session.handle(b"HELO x\r\n")
+    session.handle(b"MAIL FROM:<a@x>\r\n")
+    session.handle(b"RCPT TO:<b@y>\r\n")
+    session.handle(b"DATA\r\n")
+    session.handle(b"a\r\n..dots\r\n.\r\n")
+    assert session.store.messages_for("b@y")[0].body == b"a\r\n.dots"
+
+
+def test_quit_closes(session):
+    reply = session.handle(b"QUIT\r\n")
+    assert code(reply) == 221 and session.closed
+
+
+def test_unknown_command(session):
+    assert code(session.handle(b"TURN\r\n")) == 500
+
+
+def test_noop_and_vrfy(session):
+    assert code(session.handle(b"NOOP\r\n")) == 250
+    assert code(session.handle(b"VRFY someone\r\n")) == 252
+
+
+def test_ehlo_advertises_size(session):
+    reply = session.handle(b"EHLO c\r\n")
+    assert b"250-SIZE" in reply and reply.endswith(b"250 8BITMIME\r\n")
+
+
+# -- store --------------------------------------------------------------------------
+
+
+def test_store_multi_recipient_delivery():
+    store = MailStore()
+    store.deliver(Message(sender="s@x", recipients=("a@x", "b@x"),
+                          body=b"m"))
+    assert len(store.messages_for("a@x")) == 1
+    assert len(store.messages_for("B@X")) == 1  # case-insensitive
+    assert store.mailbox_count() == 2
+    assert store.delivered == 1
+
+
+def test_store_empty_mailbox():
+    assert MailStore().messages_for("ghost@x") == []

@@ -1,0 +1,111 @@
+"""Tests for the SpecWeb99-like workload generator and Zipf sampling."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    CLASS_MIX,
+    DIRECTORY_BYTES,
+    SpecWebFileSet,
+    ZipfSampler,
+)
+
+
+# -- Zipf ---------------------------------------------------------------------
+
+
+def test_zipf_rank_zero_most_popular():
+    z = ZipfSampler(100, alpha=1.0, seed=1)
+    counts = np.bincount(z.sample_many(20000), minlength=100)
+    assert counts[0] == counts.max()
+    assert counts[0] > 4 * counts[50]
+
+
+def test_zipf_alpha_zero_is_uniform():
+    z = ZipfSampler(10, alpha=0.0, seed=1)
+    counts = np.bincount(z.sample_many(50000), minlength=10)
+    assert counts.min() > 0.8 * counts.max()
+
+
+def test_zipf_probabilities_sum_to_one():
+    z = ZipfSampler(50, alpha=1.0)
+    assert sum(z.probability(r) for r in range(50)) == pytest.approx(1.0)
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, alpha=-1)
+
+
+def test_zipf_deterministic_with_seed():
+    a = ZipfSampler(100, seed=42).sample_many(100)
+    b = ZipfSampler(100, seed=42).sample_many(100)
+    assert (a == b).all()
+
+
+# -- SpecWeb file set --------------------------------------------------------------
+
+
+def test_fileset_total_close_to_requested():
+    fs = SpecWebFileSet(204.8)
+    assert fs.total_bytes / 1048576 == pytest.approx(204.8, rel=0.05)
+
+
+def test_directory_structure():
+    fs = SpecWebFileSet(10)
+    assert fs.file_count == fs.directories * 36
+    assert DIRECTORY_BYTES == sum(s for _p, s in fs.files()) / fs.directories
+
+
+def test_class_sizes():
+    fs = SpecWebFileSet(10)
+    assert fs.size_of(0, 1) == 100
+    assert fs.size_of(0, 9) == 900
+    assert fs.size_of(3, 9) == 900_000
+    with pytest.raises(ValueError):
+        fs.size_of(4, 1)
+    with pytest.raises(ValueError):
+        fs.size_of(0, 10)
+
+
+def test_mean_access_size_matches_paper():
+    fs = SpecWebFileSet(204.8, seed=3)
+    mean = fs.mean_access_size(samples=30000)
+    assert 13_000 < mean < 18_000  # the paper's ~16 KB average
+
+
+def test_sample_paths_exist_in_inventory():
+    fs = SpecWebFileSet(5)
+    inventory = dict(fs.files())
+    for _ in range(200):
+        path, size = fs.sample()
+        assert inventory[path] == size
+
+
+def test_class_mix_respected():
+    fs = SpecWebFileSet(50, seed=2)
+    counts = {0: 0, 1: 0, 2: 0, 3: 0}
+    n = 30000
+    for _ in range(n):
+        path, _size = fs.sample()
+        counts[int(path.split("class")[1][0])] += 1
+    for c, expected in enumerate(CLASS_MIX):
+        assert counts[c] / n == pytest.approx(expected, abs=0.02)
+
+
+def test_zipf_directories_skewed():
+    fs = SpecWebFileSet(204.8, seed=4)
+    dir_counts = {}
+    for _ in range(20000):
+        path, _ = fs.sample()
+        d = path.split("/")[1]
+        dir_counts[d] = dir_counts.get(d, 0) + 1
+    top = max(dir_counts.values())
+    assert top > 3 * (20000 / fs.directories)  # much hotter than uniform
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SpecWebFileSet(0)
