@@ -2,13 +2,18 @@
 
 Not a paper figure — performance tracking for the building blocks every
 experiment leans on: cache lookups, quota-queue operations, HTTP
-parsing, codegen, and the DES kernel's event rate.
+parsing, codegen, the DES kernel's event rate, and the observability
+hot path (profiler counters, span recording).
 """
+
+import threading
+import time
 
 from repro.cache import Cache, make_policy
 from repro.co2p3s.nserver import COPS_HTTP_OPTIONS, NSERVER
 from repro.http import parse_request, split_request
-from repro.runtime import QuotaPriorityQueue
+from repro.obs import MetricsRegistry, SpanRecorder
+from repro.runtime import NULL_PROFILER, Profiler, QuotaPriorityQueue
 from repro.sim import Simulator
 from repro.workload import SpecWebFileSet
 
@@ -75,3 +80,95 @@ def test_des_kernel_event_rate(benchmark):
 
     events = benchmark(run)
     assert events >= 10_000
+
+
+# -- observability hot path ---------------------------------------------------
+#
+# The read/send byte-accounting calls are the hottest instrumentation
+# sites in the server.  Three variants: the inert NullProfiler (O11=No
+# floor), a single-lock profiler (the pre-registry design, kept here as
+# the "before" of the lock-contention fix), and the registry-backed
+# Profiler whose per-counter locks let concurrent updates of different
+# counters proceed without contending.
+
+
+class _SingleLockProfiler:
+    """The old design: every counter update serialises on one lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._bytes_read = 0
+        self._bytes_sent = 0
+        self._requests = 0
+        self.start_time = time.monotonic()
+
+    def bytes_read(self, n):
+        with self._lock:
+            self._bytes_read += n
+
+    def bytes_sent(self, n):
+        with self._lock:
+            self._bytes_sent += n
+
+    def request_handled(self):
+        with self._lock:
+            self._requests += 1
+
+
+def _hammer(profiler, threads=4, ops=5_000):
+    """The communicator hot path, concurrently: read, send, account."""
+    barrier = threading.Barrier(threads)
+
+    def worker():
+        barrier.wait()
+        for _ in range(ops):
+            profiler.bytes_read(4096)
+            profiler.bytes_sent(8192)
+            profiler.request_handled()
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+
+
+def test_profiler_null_baseline(benchmark):
+    benchmark(lambda: _hammer(NULL_PROFILER))
+    assert not NULL_PROFILER.enabled
+
+
+def test_profiler_single_lock_before(benchmark):
+    def run():
+        _hammer(_SingleLockProfiler())
+
+    benchmark(run)
+
+
+def test_profiler_registry_after(benchmark):
+    def run():
+        profiler = Profiler()
+        _hammer(profiler)
+        return profiler
+
+    profiler = benchmark(run)
+    assert profiler.registry.value("server_requests_total") == 20_000
+
+
+def test_span_recording_rate(benchmark):
+    recorder = SpanRecorder(MetricsRegistry())
+
+    def run():
+        for _ in range(2_000):
+            span = recorder.start("request")
+            with span.stage("decode"):
+                pass
+            with span.stage("handle"):
+                pass
+            with span.stage("encode"):
+                pass
+            span.finish()
+
+    benchmark(run)
+    total = recorder.registry.get("server_request_seconds").labels()
+    assert total.count >= 2_000

@@ -6,7 +6,7 @@ from repro.experiments import format_table2, run_table2
 
 def test_table2_crosscut(benchmark):
     result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
-    assert result.matches_paper, result.vs_paper
+    assert result.matches_paper, result.vs_expected
     assert result.vs_declared == [], result.vs_declared
     print()
     print(format_table2(result))

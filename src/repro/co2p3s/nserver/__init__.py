@@ -9,21 +9,30 @@ from repro.co2p3s.nserver.options import (
     ALL_FEATURES_ON,
     COPS_FTP_OPTIONS,
     COPS_HTTP_OPTIONS,
+    COPS_HTTP_OBSERVABILITY_OPTIONS,
     COPS_HTTP_OVERLOAD_OPTIONS,
     COPS_HTTP_SCHEDULING_OPTIONS,
     NSERVER_OPTION_SPECS,
     POOL_TOGGLE_BASE,
     option_table_rows,
 )
-from repro.co2p3s.nserver.table2 import PAPER_TABLE2, TABLE2_CLASS_ORDER
+from repro.co2p3s.nserver.table2 import (
+    EXPECTED_TABLE2,
+    PAPER_TABLE2,
+    TABLE2_CLASS_ORDER,
+    TABLE2_EXTENSIONS,
+)
 
 __all__ = [
     "ALL_FEATURES_ON",
+    "EXPECTED_TABLE2",
     "PAPER_TABLE2",
     "POOL_TOGGLE_BASE",
     "TABLE2_CLASS_ORDER",
+    "TABLE2_EXTENSIONS",
     "COPS_FTP_OPTIONS",
     "COPS_HTTP_OPTIONS",
+    "COPS_HTTP_OBSERVABILITY_OPTIONS",
     "COPS_HTTP_OVERLOAD_OPTIONS",
     "COPS_HTTP_SCHEDULING_OPTIONS",
     "NSERVER",

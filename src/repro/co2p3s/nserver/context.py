@@ -87,10 +87,40 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     else:
         ctx["cache_policy_expr"] = OMIT  # Cache class not generated
 
+    # -- observability module -------------------------------------------------
+    ctx["spans_tracer"] = "reactor.tracer" if debug else "None"
+    ctx["probe_queue_depth"] = on(
+        pool, 'sampler.add_probe("server_queue_depth", '
+              'lambda: reactor.processor.queue_length, '
+              'help="Reactive Event Processor queue length")')
+    ctx["probe_pool_threads"] = on(
+        pool, 'sampler.add_probe("server_pool_threads", '
+              'lambda: reactor.processor.thread_count, '
+              'help="Event Processor pool size")')
+    ctx["probe_pool_busy"] = on(
+        pool, 'sampler.add_probe("server_pool_busy", '
+              'lambda: reactor.processor.busy_count, '
+              'help="Event Processor threads currently handling events")')
+    ctx["probe_overload_tripped"] = on(
+        overload, 'sampler.add_probe("server_overload_tripped", '
+                  'lambda: len(reactor.overload.overloaded_queues()), '
+                  'help="Watermark queues currently in the tripped state")')
+    ctx["probe_postponed_accepts"] = on(
+        overload, 'sampler.add_probe("server_postponed_accepts", '
+                  'lambda: reactor.overload.postponed_accepts, '
+                  'help="Accepts postponed by overload control")')
+    ctx["probe_cache_hit_rate"] = on(
+        cache is not None,
+        'sampler.add_probe("server_cache_hit_rate", '
+        'lambda: reactor.cache.stats.hit_rate, '
+        'help="File cache hit rate (0..1)")')
+
     # -- communication module -----------------------------------------------------
     ctx["use_codec"] = "True" if codec else "False"
     ctx["communicator_profiler_arg"] = on(profiling,
                                           "profiler=reactor.profiler,")
+    ctx["communicator_spans_arg"] = on(
+        profiling, "spans=reactor.observability.spans,")
     five = ('("read request", "decode request", "handle request", '
             '"encode reply", "send reply")')
     three = '("read request", "handle request", "send reply")'
@@ -104,6 +134,10 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     ctx["server_open_idle_timer"] = on(
         idle, "self.reactor.timer_source.schedule("
               'self.configuration.idle_scan_interval, payload="idle-scan")')
+    ctx["server_open_obs_timer"] = on(
+        profiling, "self.reactor.timer_source.schedule("
+                   'self.configuration.obs_sample_interval, '
+                   'payload="obs-sample")')
     ctx["touch_new_communicator"] = on(idle, "conn.touch()")
 
     ctx["client_connect_trace"] = on(
@@ -118,6 +152,7 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         debug, 'self.reactor.tracer.trace("server-event", str(event.payload))')
     ctx["count_timer_events"] = on(profiling, "self.timer_events += 1")
     ctx["idle_scan_dispatch"] = on(idle, "self._idle_scan(event)")
+    ctx["obs_sample_dispatch"] = on(profiling, "self._obs_sample(event)")
 
     ctx["trace_connect_event"] = on(
         debug, 'self.reactor.tracer.trace("connect", conn.handle.name)')
@@ -155,9 +190,15 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     ctx["trace_connects"] = "True" if debug else "False"
 
     # -- reactor module ------------------------------------------------------------
-    ctx["make_profiler"] = on(profiling, "self.profiler = rt.Profiler()")
     ctx["make_tracer"] = on(debug, "self.tracer = rt.EventTracer()")
     ctx["make_log"] = on(logging, "self.log = rt.ServerLog()")
+    # The tracer is built first: the Observability span recorder mirrors
+    # span events into it when the build is O10=Debug.
+    ctx["make_observability"] = on(
+        profiling, "self.observability = Observability(self)")
+    ctx["make_profiler"] = on(
+        profiling, "self.profiler = self.observability.profiler")
+    ctx["wire_observability"] = on(profiling, "self.observability.wire()")
     ctx["make_cache"] = on(cache is not None, "self.cache = Cache(self)")
     if pool and sched:
         ctx["make_processor"] = (
@@ -222,6 +263,9 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
                                 "self.processor_controller.stop()")
     ctx["stop_processor"] = on(pool, "self.processor.stop()")
     ctx["stop_file_io"] = on(async_io, "self.file_io.stop()")
+    ctx["final_obs_sample"] = on(
+        profiling, "self.observability.sample()")
+    ctx["close_tracer"] = on(debug, "self.tracer.close()")
     ctx["log_stopped"] = on(logging, 'self.log.info("server stopped")')
 
     return ctx

@@ -61,6 +61,8 @@ MODULE_REACTOR = ModuleSpec(
                  options=("O2", "O5")),
         Fragment("from $package.cache import Cache",
                  guard=lambda o: o["O6"] is not None, options=("O6",)),
+        Fragment("from $package.observability import Observability",
+                 guard=_o("O11"), options=("O11",)),
     ],
     classes=[
         ClassSpec(
@@ -76,9 +78,10 @@ MODULE_REACTOR = ModuleSpec(
                         self.configuration = configuration
                         self.hooks = hooks
                         self.clock = time.monotonic
-                        $make_profiler
                         $make_tracer
                         $make_log
+                        $make_observability
+                        $make_profiler
                         self.socket_source = rt.SocketEventSource()
                         self.timer_source = rt.TimerEventSource(self.socket_source)
                         self.source = rt.QueueEventSource(self.timer_source)
@@ -100,6 +103,7 @@ MODULE_REACTOR = ModuleSpec(
                         $enable_dispatch_profiling
                         $enable_cache_profiling
                         $wire_processor_error_trace
+                        $wire_observability
                     ''',
                     options=("O1", "O2", "O4", "O5", "O6", "O8", "O9",
                              "O10", "O11", "O12"),
@@ -246,9 +250,11 @@ MODULE_REACTOR = ModuleSpec(
                         $stop_processor
                         $stop_file_io
                         self.source.close()
+                        $final_obs_sample
+                        $close_tracer
                         $log_stopped
                     ''',
-                    options=("O2", "O4", "O5", "O12"),
+                    options=("O2", "O4", "O5", "O10", "O11", "O12"),
                 ),
             ],
         ),

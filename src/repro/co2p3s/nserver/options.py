@@ -17,6 +17,7 @@ __all__ = [
     "NSERVER_OPTION_SPECS",
     "COPS_FTP_OPTIONS",
     "COPS_HTTP_OPTIONS",
+    "COPS_HTTP_OBSERVABILITY_OPTIONS",
     "COPS_HTTP_SCHEDULING_OPTIONS",
     "COPS_HTTP_OVERLOAD_OPTIONS",
     "ALL_FEATURES_ON",
@@ -104,6 +105,11 @@ COPS_HTTP_SCHEDULING_OPTIONS = dict(COPS_HTTP_OPTIONS, O8=True, O6=None)
 
 #: Third COPS-HTTP experiment (Fig 6): overload control on.
 COPS_HTTP_OVERLOAD_OPTIONS = dict(COPS_HTTP_OPTIONS, O9=True)
+
+#: COPS-HTTP with the unified observability layer (O11=Yes): the
+#: generated framework answers ``GET /server-status`` with live
+#: counters, per-stage latency quantiles and sampler gauges.
+COPS_HTTP_OBSERVABILITY_OPTIONS = dict(COPS_HTTP_OPTIONS, O11=True)
 
 #: Everything enabled — the base point for the Table 2 crosscut analysis
 #: (all optional classes exist, so existence toggles are observable).

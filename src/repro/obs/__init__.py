@@ -1,0 +1,74 @@
+"""Unified observability layer (option O11 and friends).
+
+Four pieces, composable and individually testable:
+
+* :mod:`repro.obs.registry` — thread-safe metrics registry (counters,
+  gauges, bucketed histograms with p50/p90/p99 estimation, labeled
+  families) with per-metric locking and null objects for the O11=No
+  branch-free path;
+* :mod:`repro.obs.spans` — request-lifecycle spans bracketing the
+  decode/handle/encode steps of the five-step cycle (Fig 1), recorded
+  into per-stage latency histograms and optionally mirrored into the
+  debug :class:`~repro.runtime.tracing.EventTracer`;
+* :mod:`repro.obs.sampler` — periodic gauge sampling of pull-style state
+  (queue depth, pool size, open connections, overload trip state, cache
+  hit rate);
+* :mod:`repro.obs.exposition` — Prometheus text format and the Apache
+  ``mod_status``-style ``/server-status`` report (HTML + ``?auto``).
+
+This package deliberately does not import :mod:`repro.runtime` — the
+runtime imports *it* (the Profiler is a façade over the registry), and
+the generated frameworks' ``Observability`` component wires the rest.
+"""
+
+from repro.obs.exposition import (
+    render_prometheus,
+    render_status_auto,
+    render_status_html,
+    status_fields,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NullMetric,
+    NullRegistry,
+)
+from repro.obs.sampler import PeriodicSampler
+from repro.obs.spans import (
+    NULL_SPAN,
+    NULL_SPANS,
+    NullSpan,
+    NullSpanRecorder,
+    Span,
+    SpanRecorder,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_SPANS",
+    "NullMetric",
+    "NullRegistry",
+    "NullSpan",
+    "NullSpanRecorder",
+    "PeriodicSampler",
+    "Span",
+    "SpanRecorder",
+    "render_prometheus",
+    "render_status_auto",
+    "render_status_html",
+    "status_fields",
+]

@@ -1,0 +1,88 @@
+"""Periodic gauge sampling.
+
+Counters and histograms are pushed from the hot path; *state* metrics —
+processor queue depth, pool size, open connections, overload trip state,
+cache hit rate — have to be pulled.  :class:`PeriodicSampler` holds
+(gauge, probe) pairs and copies probe values into gauges on every
+:meth:`sample` tick.
+
+Two drive modes, matching the two server assemblies:
+
+* the generated frameworks re-arm a ``obs-sample`` timer through their
+  Timer Event Source and call :meth:`sample` from the generated
+  ServerEventHandler (so sampling flows through the same event machinery
+  as everything else);
+* the hand-wired :class:`~repro.runtime.server.ReactorServer` runs
+  :meth:`start`'s helper thread.
+
+Probe exceptions are swallowed (a dying probe must not take the server
+down) and ``None`` returns skip the tick, so probes may be attached
+before their subsystem is live.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["PeriodicSampler"]
+
+
+class PeriodicSampler:
+    """Copies probe callables into registry gauges on a timer tick."""
+
+    def __init__(self, registry, interval: float = 1.0,
+                 clock=time.monotonic):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.registry = registry
+        self.interval = interval
+        self.clock = clock
+        self._probes: List[Tuple[object, Callable[[], Optional[float]]]] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.ticks = registry.counter(
+            "server_sampler_ticks_total", "Sampler ticks executed")
+
+    def add_probe(self, name: str, probe: Callable[[], Optional[float]],
+                  help: str = ""):
+        """Register ``probe`` to feed the gauge ``name``; returns the gauge."""
+        gauge = self.registry.gauge(name, help)
+        with self._lock:
+            self._probes.append((gauge, probe))
+        return gauge
+
+    def sample(self) -> None:
+        """One sampling pass over every probe."""
+        with self._lock:
+            probes = list(self._probes)
+        for gauge, probe in probes:
+            try:
+                value = probe()
+            except Exception:  # noqa: BLE001 - a probe must not kill the server
+                continue
+            if value is None:
+                continue
+            gauge.set(float(value))
+        self.ticks.inc()
+
+    # -- thread mode (hand-wired ReactorServer) --------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="obs-sampler")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample()

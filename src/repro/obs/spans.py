@@ -1,0 +1,195 @@
+"""Request-lifecycle spans.
+
+A :class:`Span` follows one request through the generated five-step
+cycle (Fig 1): the Communicator opens a span when a complete request is
+framed, brackets the decode / handle / encode steps as *stages*, and
+finishes the span when the reply is queued.  Stage timings land in the
+registry's ``server_request_stage_seconds{stage=...}`` histogram and the
+end-to-end time in ``server_request_seconds`` — which is what makes the
+differentiated-service (Fig 5) and overload (Fig 6) behaviour readable
+as latency timeseries.  The read/send socket steps are not per-request
+(a recv may carry several pipelined requests), so the Communicator
+records them directly via :meth:`SpanRecorder.observe`.
+
+Stages nest: beginning a stage while another is open records the inner
+one under a dotted path (``handle.cache``).  Spans are *not* re-entrant
+across threads — per-connection replies are FIFO, so a span is only ever
+touched by one thread at a time (the pipeline thread, then possibly the
+completion thread that delivers a PENDING result).
+
+When O11=No the call sites either aren't generated at all (generated
+frameworks) or hit :data:`NULL_SPANS` / :data:`NULL_SPAN` — no-op
+singletons, never an ``if enabled`` branch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.obs.registry import DEFAULT_BUCKETS
+
+__all__ = ["Span", "SpanRecorder", "NullSpan", "NullSpanRecorder",
+           "NULL_SPAN", "NULL_SPANS"]
+
+
+class Span:
+    """One request's timing record; created by :class:`SpanRecorder`."""
+
+    __slots__ = ("recorder", "name", "detail", "start_time", "end_time",
+                 "stages", "_stack")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, detail: str = ""):
+        self.recorder = recorder
+        self.name = name
+        self.detail = detail
+        self.start_time = recorder.clock()
+        self.end_time: Optional[float] = None
+        #: completed stages as (dotted_path, start, end)
+        self.stages: List[Tuple[str, float, float]] = []
+        self._stack: List[Tuple[str, float]] = []
+
+    # -- stage bracketing -----------------------------------------------
+    def stage(self, name: str) -> "Span":
+        """``with span.stage("decode"): ...`` — begins the stage now;
+        the ``with`` exit ends it."""
+        self.stage_begin(name)
+        return self
+
+    def stage_begin(self, name: str) -> None:
+        self._stack.append((name, self.recorder.clock()))
+
+    def stage_end(self) -> None:
+        """End the innermost open stage (no-op when none is open)."""
+        if not self._stack:
+            return
+        name, started = self._stack.pop()
+        path = ".".join([n for n, _ in self._stack] + [name])
+        self.stages.append((path, started, self.recorder.clock()))
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stage_end()
+        return False
+
+    # -- completion -----------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def finish(self) -> None:
+        """Close any open stages, stamp the end time, and record the
+        span into the recorder's histograms (idempotent)."""
+        if self.end_time is not None:
+            return
+        while self._stack:
+            self.stage_end()
+        self.end_time = self.recorder.clock()
+        self.recorder._record(self)
+
+
+class SpanRecorder:
+    """Factory for request spans; owns the latency histograms."""
+
+    enabled = True
+
+    def __init__(self, registry, tracer=None, clock=time.monotonic,
+                 buckets=DEFAULT_BUCKETS):
+        self.registry = registry
+        self.tracer = tracer
+        self.clock = clock
+        self._total = registry.histogram(
+            "server_request_seconds",
+            "End-to-end request latency (framed request -> reply queued)",
+            buckets=buckets)
+        self._stages = registry.histogram(
+            "server_request_stage_seconds",
+            "Per-stage request latency (read/decode/handle/encode/send)",
+            labels=("stage",), buckets=buckets)
+
+    def start(self, name: str = "request", detail: str = "") -> Span:
+        return Span(self, name, detail)
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record a stage sample outside any span (read/send socket work,
+        which is per-chunk rather than per-request)."""
+        self._stages.labels(stage=stage).observe(seconds)
+
+    def stage_quantiles(self, quantiles=(0.50, 0.90, 0.99)) -> dict:
+        """{stage: {q: estimate}} for every stage seen so far."""
+        family = self.registry.get("server_request_stage_seconds")
+        out = {}
+        if family is None:
+            return out
+        for labels, hist in family.children():
+            out[labels["stage"]] = {q: hist.quantile(q) for q in quantiles}
+        return out
+
+    def _record(self, span: Span) -> None:
+        self._total.observe(span.duration)
+        for path, started, ended in span.stages:
+            self._stages.labels(stage=path).observe(ended - started)
+        if self.tracer is not None:
+            parts = " ".join(f"{path}={ended - started:.6f}"
+                             for path, started, ended in span.stages)
+            self.tracer.trace(
+                "span", f"{span.name} {span.detail} "
+                        f"total={span.duration:.6f} {parts}".rstrip())
+
+
+class NullSpan:
+    """The O11=No span: every method is a pass, every context manager a
+    no-op.  A singleton — allocation-free on the disabled path."""
+
+    __slots__ = ()
+    finished = True
+    duration = None
+    stages: List[Tuple[str, float, float]] = []
+
+    def stage(self, name: str) -> "NullSpan":
+        return self
+
+    def stage_begin(self, name: str) -> None:
+        pass
+
+    def stage_end(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def finish(self) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullSpanRecorder:
+    """O11=No recorder: hands out the null span, absorbs observations."""
+
+    enabled = False
+    tracer = None
+
+    def start(self, name: str = "request", detail: str = "") -> NullSpan:
+        return NULL_SPAN
+
+    def observe(self, stage: str, seconds: float) -> None:
+        pass
+
+    def stage_quantiles(self, quantiles=(0.50, 0.90, 0.99)) -> dict:
+        return {}
+
+
+NULL_SPANS = NullSpanRecorder()

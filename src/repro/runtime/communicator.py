@@ -24,6 +24,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Optional, Tuple
 
+from repro.obs.spans import NULL_SPANS
 from repro.runtime.events import Event
 from repro.runtime.handles import SocketHandle
 from repro.runtime.profiling import NULL_PROFILER
@@ -35,6 +36,16 @@ __all__ = ["PENDING", "CLOSE", "ServerHooks", "Communicator"]
 PENDING = object()
 #: sentinel reply meaning "close this connection without replying"
 CLOSE = object()
+
+
+class _Ticket:
+    """Order token for one in-flight request; carries its span so the
+    asynchronous completion path can close the right one."""
+
+    __slots__ = ("span",)
+
+    def __init__(self, span):
+        self.span = span
 
 
 class ServerHooks:
@@ -106,6 +117,7 @@ class Communicator:
         profiler=NULL_PROFILER,
         tracer=NULL_TRACER,
         log=NULL_LOG,
+        spans=NULL_SPANS,
         clock=time.monotonic,
     ):
         self.handle = handle
@@ -116,6 +128,7 @@ class Communicator:
         self.profiler = profiler
         self.tracer = tracer
         self.log = log
+        self.spans = spans
         self.clock = clock
         self.in_buffer = bytearray()
         # Ticket machinery for asynchronous (PENDING) replies.  Guarded by
@@ -140,13 +153,16 @@ class Communicator:
         every complete request now buffered."""
         if self.closed:
             return
+        t0 = self.clock()
         chunk = self.handle.try_recv()
         if chunk is None:
             return
         if chunk == b"":
             self.close()
             return
-        self.handle.last_activity = self.clock()
+        now = self.clock()
+        self.handle.last_activity = now
+        self.spans.observe("read", now - t0)
         self.profiler.bytes_read(len(chunk))
         self.tracer.trace("read", f"{self.handle.name} +{len(chunk)}B")
         self.in_buffer.extend(chunk)
@@ -156,9 +172,12 @@ class Communicator:
         """Send Reply step: flush buffered output."""
         if self.closed:
             return
+        t0 = self.clock()
         sent = self.handle.try_send()
         if sent:
-            self.handle.last_activity = self.clock()
+            now = self.clock()
+            self.handle.last_activity = now
+            self.spans.observe("send", now - t0)
             self.profiler.bytes_sent(sent)
             self.tracer.trace("send", f"{self.handle.name} -{sent}B")
         if self.handle.closed:
@@ -193,14 +212,18 @@ class Communicator:
         return self.hooks.encode(result, self) if self.use_codec else result
 
     def _run_pipeline(self, raw: bytes) -> None:
-        ticket = object()
+        span = self.spans.start("request", detail=self.handle.name)
+        ticket = _Ticket(span)
         with self._ticket_lock:
             self._awaiting.append(ticket)
         try:
-            request = self.step_decode(raw)
+            with span.stage("decode"):
+                request = self.step_decode(raw)
             self.tracer.trace("decode", f"{self.handle.name} {len(raw)}B")
+            span.stage_begin("handle")
             result = self.step_handle(request)
         except Exception as exc:  # noqa: BLE001 - hook errors end the connection
+            span.finish()
             self.profiler.error()
             self.log.error(f"pipeline error on {self.handle.name}: {exc!r}")
             with self._ticket_lock:
@@ -236,23 +259,30 @@ class Communicator:
         self._finish(ticket, result)
 
     def _finish(self, ticket: Any, result: Any) -> None:
+        span = ticket.span
+        span.stage_end()  # closes "handle" (sync path; no-op if already closed)
         with self._ticket_lock:
             try:
                 self._awaiting.remove(ticket)
             except ValueError:
                 pass
         if self.closed:
+            span.finish()
             return
         if result is CLOSE:
+            span.finish()
             self.close()
             return
         try:
-            data = self.step_encode(result)
+            with span.stage("encode"):
+                data = self.step_encode(result)
         except Exception as exc:  # noqa: BLE001
+            span.finish()
             self.profiler.error()
             self.log.error(f"encode error on {self.handle.name}: {exc!r}")
             self.close()
             return
+        span.finish()
         self.requests_completed += 1
         self.profiler.request_handled()
         self.send_bytes(data)
@@ -266,11 +296,14 @@ class Communicator:
             self.handle.out_buffer.extend(data)
         if close_after:
             self.close_after_flush = True
+        t0 = self.clock()
         sent = self.handle.try_send()
         if sent:
+            now = self.clock()
+            self.spans.observe("send", now - t0)
             self.profiler.bytes_sent(sent)
             self.tracer.trace("send", f"{self.handle.name} -{sent}B")
-            self.handle.last_activity = self.clock()
+            self.handle.last_activity = now
         if self.handle.closed:
             self.close()
             return

@@ -100,3 +100,30 @@ class OverloadController:
     def overloaded_queues(self) -> list:
         """Names of queues currently in the tripped state."""
         return [name for name, tripped in self._tripped.items() if tripped]
+
+    def status(self) -> dict:
+        """Snapshot of the controller state for samplers / status pages.
+
+        Unlike :meth:`accepting` this is read-only: probing lengths here
+        never trips or clears a watermark latch.
+        """
+        queues = {}
+        for name, probe in self._probes.items():
+            try:
+                length = probe()
+            except Exception:  # noqa: BLE001 - status must not raise
+                length = None
+            mark = self._marks[name]
+            queues[name] = {
+                "length": length,
+                "high": mark.high,
+                "low": mark.low,
+                "tripped": self._tripped[name],
+            }
+        return {
+            "open_connections": self.open_connections,
+            "max_connections": self.max_connections,
+            "postponed_accepts": self.postponed_accepts,
+            "tripped": self.overloaded_queues(),
+            "queues": queues,
+        }

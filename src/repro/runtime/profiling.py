@@ -6,19 +6,27 @@ performance profiling.  This information includes: the number of
 connections accepted, the number of bytes read, the number of bytes
 sent, the file cache hit rate, etc."
 
-The generated framework calls the recording methods from the generated
-Read-Request / Send-Reply / Acceptor handlers (the `+` cells of the O11
-column in Table 2); when O11=No those call sites are simply not
-generated and a :class:`NullProfiler` singleton keeps the library code
-branch-free.
+:class:`Profiler` keeps the recording API the generated Read-Request /
+Send-Reply / Acceptor handlers call (the `+` cells of the O11 column in
+Table 2), but is now a thin façade over a
+:class:`~repro.obs.registry.MetricsRegistry`: every recorder maps to a
+registry counter with its *own* lock.  The old implementation serialised
+every byte-count update on a single ``threading.Lock`` — on the hot
+read/send path, with several processor threads, that one lock was the
+contention point (see ``benchmarks/bench_micro_components.py`` for the
+before/after numbers).
+
+When O11=No those call sites are simply not generated and the
+:class:`NullProfiler` singleton keeps the library code branch-free.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
+
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["ServerProfile", "Profiler", "NullProfiler", "NULL_PROFILER"]
 
@@ -43,69 +51,78 @@ class ServerProfile:
 
 
 class Profiler:
-    """Thread-safe counters for the statistics the paper lists."""
+    """Façade over the metrics registry keeping the paper's statistics.
 
-    def __init__(self, clock=time.monotonic):
-        self._clock = clock
-        self._start = clock()
-        self._lock = threading.Lock()
-        self._connections_accepted = 0
-        self._connections_closed = 0
-        self._bytes_read = 0
-        self._bytes_sent = 0
-        self._requests_handled = 0
-        self._errors = 0
-        self._events_dispatched = 0
-        self._cache_stats = None  # optional CacheStats to sample
+    Pass a shared ``registry`` to co-locate the profiler's counters with
+    span histograms and sampler gauges (the generated ``Observability``
+    component does); by default the profiler owns a private registry.
+    """
 
     enabled = True
+
+    def __init__(self, clock=time.monotonic, registry=None):
+        self._clock = clock
+        self._start = clock()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._connections_accepted = reg.counter(
+            "server_connections_accepted_total", "Connections accepted")
+        self._connections_closed = reg.counter(
+            "server_connections_closed_total", "Connections closed")
+        self._bytes_read = reg.counter(
+            "server_bytes_read_total", "Bytes read from sockets")
+        self._bytes_sent = reg.counter(
+            "server_bytes_sent_total", "Bytes sent to sockets")
+        self._requests_handled = reg.counter(
+            "server_requests_total", "Requests handled to completion")
+        self._errors = reg.counter(
+            "server_errors_total", "Pipeline/handler errors")
+        self._events_dispatched = reg.counter(
+            "server_events_dispatched_total", "Events routed by dispatchers")
+        self._cache_stats = None  # optional CacheStats to sample
 
     def attach_cache(self, stats) -> None:
         """Point the profiler at a ``CacheStats`` for hit-rate sampling."""
         self._cache_stats = stats
 
+    @property
+    def uptime(self) -> float:
+        return self._clock() - self._start
+
     def connection_accepted(self) -> None:
-        with self._lock:
-            self._connections_accepted += 1
+        self._connections_accepted.inc()
 
     def connection_closed(self) -> None:
-        with self._lock:
-            self._connections_closed += 1
+        self._connections_closed.inc()
 
     def bytes_read(self, n: int) -> None:
-        with self._lock:
-            self._bytes_read += n
+        self._bytes_read.inc(n)
 
     def bytes_sent(self, n: int) -> None:
-        with self._lock:
-            self._bytes_sent += n
+        self._bytes_sent.inc(n)
 
     def request_handled(self) -> None:
-        with self._lock:
-            self._requests_handled += 1
+        self._requests_handled.inc()
 
     def error(self) -> None:
-        with self._lock:
-            self._errors += 1
+        self._errors.inc()
 
     def event_dispatched(self, n: int = 1) -> None:
-        with self._lock:
-            self._events_dispatched += n
+        self._events_dispatched.inc(n)
 
     def snapshot(self) -> ServerProfile:
-        with self._lock:
-            return ServerProfile(
-                connections_accepted=self._connections_accepted,
-                connections_closed=self._connections_closed,
-                bytes_read=self._bytes_read,
-                bytes_sent=self._bytes_sent,
-                requests_handled=self._requests_handled,
-                errors=self._errors,
-                events_dispatched=self._events_dispatched,
-                cache_hit_rate=(self._cache_stats.hit_rate
-                                if self._cache_stats is not None else None),
-                uptime=self._clock() - self._start,
-            )
+        return ServerProfile(
+            connections_accepted=self._connections_accepted.value,
+            connections_closed=self._connections_closed.value,
+            bytes_read=self._bytes_read.value,
+            bytes_sent=self._bytes_sent.value,
+            requests_handled=self._requests_handled.value,
+            errors=self._errors.value,
+            events_dispatched=self._events_dispatched.value,
+            cache_hit_rate=(self._cache_stats.hit_rate
+                            if self._cache_stats is not None else None),
+            uptime=self._clock() - self._start,
+        )
 
 
 class NullProfiler(Profiler):
@@ -115,6 +132,11 @@ class NullProfiler(Profiler):
 
     def __init__(self):  # noqa: D401 - deliberately skips parent state
         self._start = 0.0
+        self.registry = NULL_REGISTRY
+
+    @property
+    def uptime(self) -> float:
+        return 0.0
 
     def attach_cache(self, stats) -> None:
         pass

@@ -23,6 +23,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cache import FileCache
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sampler import PeriodicSampler
+from repro.obs.spans import NULL_SPANS, SpanRecorder
 from repro.runtime.acceptor import Acceptor
 from repro.runtime.communicator import Communicator, ServerHooks
 from repro.runtime.container import Container
@@ -67,6 +70,7 @@ class RuntimeConfig:
     debug_mode: bool = False                    # O10
     profiling: bool = False                     # O11
     logging: bool = False                       # O12
+    sample_interval: float = 1.0                # O11 gauge-sampler period
     processor_threads: int = 2
     file_io_threads: int = 2
     document_root: Optional[str] = None
@@ -93,9 +97,14 @@ class ReactorServer:
         self._lock = threading.Lock()
 
         # O11 / O10 / O12 feature objects (null objects when disabled).
-        self.profiler = Profiler() if config.profiling else NULL_PROFILER
         self.tracer = EventTracer() if config.debug_mode else NULL_TRACER
         self.log = ServerLog() if config.logging else NULL_LOG
+        self.registry = MetricsRegistry() if config.profiling else NULL_REGISTRY
+        self.profiler = (Profiler(registry=self.registry)
+                         if config.profiling else NULL_PROFILER)
+        self.spans = (SpanRecorder(self.registry,
+                                   tracer=self.tracer if config.debug_mode else None)
+                      if config.profiling else NULL_SPANS)
 
         # O6: file cache.
         self.cache: Optional[FileCache] = None
@@ -174,6 +183,44 @@ class ReactorServer:
                 on_idle=self._reap_connection,
             )
 
+        # O11: periodic gauge sampler over the subsystems wired above.
+        self.sampler: Optional[PeriodicSampler] = None
+        if config.profiling:
+            sampler = PeriodicSampler(self.registry,
+                                      interval=config.sample_interval)
+            sampler.add_probe(
+                "server_open_connections",
+                lambda: len(self.container),
+                help="Currently open connections")
+            if self.processor is not None:
+                sampler.add_probe(
+                    "server_queue_depth",
+                    lambda: self.processor.queue_length,
+                    help="Reactive Event Processor queue length")
+                sampler.add_probe(
+                    "server_pool_threads",
+                    lambda: self.processor.thread_count,
+                    help="Event Processor pool size")
+                sampler.add_probe(
+                    "server_pool_busy",
+                    lambda: self.processor.busy_count,
+                    help="Event Processor threads currently handling events")
+            if self.overload is not None:
+                sampler.add_probe(
+                    "server_overload_tripped",
+                    lambda: len(self.overload.overloaded_queues()),
+                    help="Watermark queues currently in the tripped state")
+                sampler.add_probe(
+                    "server_postponed_accepts",
+                    lambda: self.overload.postponed_accepts,
+                    help="Accepts postponed by overload control")
+            if self.cache is not None:
+                sampler.add_probe(
+                    "server_cache_hit_rate",
+                    lambda: self.cache.stats.hit_rate,
+                    help="File cache hit rate (0..1)")
+            self.sampler = sampler
+
         self.listen: Optional[ListenHandle] = None
         self.acceptor: Optional[Acceptor] = None
         self.dispatcher = EventDispatcher(
@@ -199,6 +246,7 @@ class ReactorServer:
             profiler=self.profiler,
             tracer=self.tracer,
             log=self.log,
+            spans=self.spans,
         )
         conn.context["server"] = self
         self.container.add(conn)
@@ -280,6 +328,8 @@ class ReactorServer:
             self.file_io.start()
         if self.reaper is not None:
             self.reaper.start()
+        if self.sampler is not None:
+            self.sampler.start()
         self.dispatcher.start()
         self.log.info(f"server listening on {self.host}:{self.port}")
 
@@ -300,7 +350,11 @@ class ReactorServer:
             self.file_io.stop()
         if self.reaper is not None:
             self.reaper.stop()
+        if self.sampler is not None:
+            self.sampler.sample()  # final state snapshot before threads die
+            self.sampler.stop()
         self.source.close()
+        self.tracer.close()
         self.log.info("server stopped")
 
     def __enter__(self) -> "ReactorServer":

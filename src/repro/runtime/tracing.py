@@ -66,7 +66,29 @@ class EventTracer:
         recs = self.records()
         for rec in recs:
             sink.write(rec.format() + "\n")
+        if hasattr(sink, "flush"):
+            sink.flush()
         return len(recs)
+
+    def flush(self) -> None:
+        """Flush the streaming sink (if any and if it supports it)."""
+        with self._lock:
+            sink = self._sink
+        if sink is not None and hasattr(sink, "flush"):
+            sink.flush()
+
+    def close(self) -> None:
+        """Flush and detach the streaming sink.
+
+        Called from server teardown so buffered file-sink writes are not
+        lost on shutdown.  The ring stays readable; further traces only
+        land in the ring.  The sink itself is not closed — the tracer
+        does not own it (callers pass open files / StringIO in).
+        """
+        with self._lock:
+            sink, self._sink = self._sink, None
+        if sink is not None and hasattr(sink, "flush"):
+            sink.flush()
 
 
 class NullTracer(EventTracer):
@@ -86,6 +108,12 @@ class NullTracer(EventTracer):
 
     def dump(self, sink) -> int:
         return 0
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
 
 
 NULL_TRACER = NullTracer()

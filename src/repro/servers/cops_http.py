@@ -31,6 +31,9 @@ class CopsHttpHooks(ServerHooks):
     code"): HTTP semantics on top of the generated framework."""
 
     index_file = "index.html"
+    #: Apache ``mod_status``-style endpoint; answered only when the
+    #: framework was generated with O11=Yes (``?auto`` = machine format).
+    status_path = "/server-status"
 
     def __init__(self, default_priority: int = 0):
         self.default_priority = default_priority
@@ -59,6 +62,8 @@ class CopsHttpHooks(ServerHooks):
             return self._error(conn, request.status, close=True)
         if request.method not in ("GET", "HEAD"):
             return self._error(conn, 501, version=request.version)
+        if request.path == self.status_path:
+            return self._server_status(request, conn)
         path = request.path
         if path.endswith("/"):
             path += self.index_file
@@ -90,6 +95,33 @@ class CopsHttpHooks(ServerHooks):
                                          head_only=head_only)
         response._close_after = not keep_alive
         conn.complete_request(response)
+
+    def _server_status(self, request, conn):
+        """The ``/server-status`` surface: HTML report, or the Apache
+        ``mod_status`` machine-readable format with ``?auto``.
+
+        The observability layer only exists when the framework was
+        generated with O11=Yes; any other build answers 404 — the page,
+        like every O11 call site, leaves no trace in an O11=No server.
+        """
+        observability = getattr(conn.reactor, "observability", None)
+        keep_alive = request.keep_alive
+        if observability is None:
+            return self._error(conn, 404, version=request.version,
+                               close=not keep_alive)
+        auto = "auto" in request.query.split("&")
+        body = observability.status_report(auto=auto)
+        content_type = ("text/plain; charset=utf-8" if auto
+                        else "text/html; charset=utf-8")
+        headers = http.Headers([("Content-Type", content_type)])
+        if not keep_alive:
+            headers.set("Connection", "close")
+        response = http.HttpResponse(status=200, headers=headers,
+                                     body=body.encode("utf-8"),
+                                     version=request.version,
+                                     head_only=request.method == "HEAD")
+        response._close_after = not keep_alive
+        return response
 
     def _error(self, conn, status: int, version: str = "HTTP/1.1",
                close: bool = False):

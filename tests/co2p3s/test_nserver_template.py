@@ -16,12 +16,15 @@ from repro.co2p3s.nserver import (
     ALL_FEATURES_ON,
     COPS_FTP_OPTIONS,
     COPS_HTTP_OPTIONS,
+    COPS_HTTP_OBSERVABILITY_OPTIONS,
     COPS_HTTP_OVERLOAD_OPTIONS,
     COPS_HTTP_SCHEDULING_OPTIONS,
+    EXPECTED_TABLE2,
     NSERVER,
     PAPER_TABLE2,
     POOL_TOGGLE_BASE,
     TABLE2_CLASS_ORDER,
+    TABLE2_EXTENSIONS,
     option_table_rows,
 )
 
@@ -96,9 +99,10 @@ def test_all_files_parse_for_paper_configs():
             ast.parse(text)
 
 
-def test_full_config_generates_all_27_classes():
+def test_full_config_generates_all_28_classes():
     report = render(ALL_FEATURES_ON)
     assert set(report.class_names()) == set(TABLE2_CLASS_ORDER)
+    assert len(TABLE2_CLASS_ORDER) == 28  # paper's 27 + Observability
 
 
 def test_optional_classes_absent_when_options_off():
@@ -125,6 +129,7 @@ def test_no_dynamic_feature_checks_in_generated_code():
     """The paper's core claim: option-disabled features leave NO trace in
     the generated code — no runtime flag checks."""
     report = render(COPS_HTTP_OPTIONS)  # profiling/logging/debug all off
+    assert "observability.py" not in report.files
     for filename, text in report.files.items():
         assert "profiler" not in text, filename
         assert "tracer" not in text, filename
@@ -133,6 +138,51 @@ def test_no_dynamic_feature_checks_in_generated_code():
         assert "OverloadController" not in text, filename
         assert "reap_idle" not in text, filename
         assert "idle-scan" not in text, filename
+        # O11=No: zero metric/span/status call sites anywhere.
+        assert "observability" not in text.lower(), filename
+        assert "spans" not in text, filename
+        assert "obs-sample" not in text, filename
+        assert "registry" not in text, filename
+        assert "sampler" not in text, filename
+
+
+def test_observability_code_present_when_o11_on():
+    report = render(COPS_HTTP_OBSERVABILITY_OPTIONS)
+    assert "observability.py" in report.files
+    obs_text = report.files["observability.py"]
+    assert "MetricsRegistry" in obs_text
+    assert "SpanRecorder" in obs_text
+    assert "PeriodicSampler" in obs_text
+    assert "status_report" in obs_text
+    # Production build: span events are not mirrored into a tracer.
+    assert "tracer=None" in obs_text
+    # Cache probe present (O6=LRU), overload probe absent (O9=No).
+    assert "server_cache_hit_rate" in obs_text
+    assert "server_overload_tripped" not in obs_text
+    reactor_text = report.files["reactor.py"]
+    assert "self.observability = Observability(self)" in reactor_text
+    assert "self.profiler = self.observability.profiler" in reactor_text
+    assert "self.observability.wire()" in reactor_text
+    comm_text = report.files["communication.py"]
+    assert "spans=reactor.observability.spans" in comm_text
+    assert "obs_sample_interval" in comm_text
+    assert '"obs-sample"' in comm_text
+
+
+def test_observability_debug_build_mirrors_spans_into_tracer():
+    report = render(dict(COPS_HTTP_OBSERVABILITY_OPTIONS, O10="Debug"))
+    assert "tracer=reactor.tracer" in report.files["observability.py"]
+
+
+def test_table2_extension_rows_merge():
+    assert "Observability" not in PAPER_TABLE2  # paper stays verbatim
+    assert EXPECTED_TABLE2["Observability"]["O11"] == "O"
+    assert EXPECTED_TABLE2["ServerComponent"]["O11"] == "+"
+    assert EXPECTED_TABLE2["ServerConfiguration"]["O11"] == "+"
+    # Extensions only add cells, never overwrite a paper cell.
+    for name, row in TABLE2_EXTENSIONS.items():
+        for key in row:
+            assert PAPER_TABLE2.get(name, {}).get(key, "") == ""
 
 
 def test_feature_code_present_when_enabled():
@@ -183,19 +233,36 @@ def test_generated_size_same_order_as_paper():
 # -- Table 2: crosscut reproduction ------------------------------------------------
 
 
-def paper_matrix():
+def _matrix_from(table):
     m = CrosscutMatrix(class_names=TABLE2_CLASS_ORDER,
                        option_keys=[f"O{i}" for i in range(1, 13)])
     for name in TABLE2_CLASS_ORDER:
-        m.cells[name] = {f"O{i}": PAPER_TABLE2.get(name, {}).get(f"O{i}", "")
+        m.cells[name] = {f"O{i}": table.get(name, {}).get(f"O{i}", "")
                          for i in range(1, 13)}
     return m
+
+
+def paper_matrix():
+    return _matrix_from(PAPER_TABLE2)
+
+
+def expected_matrix():
+    return _matrix_from(EXPECTED_TABLE2)
 
 
 def test_empirical_crosscut_reproduces_paper_table2():
     emp = empirical_matrix(NSERVER, ALL_FEATURES_ON,
                            extra_bases=(POOL_TOGGLE_BASE,))
-    assert emp.differences(paper_matrix()) == []
+    diffs = emp.differences(expected_matrix())
+    assert diffs == []
+    # The only cells beyond the paper's table are the declared
+    # observability extension rows.
+    vs_paper = emp.differences(paper_matrix())
+    assert vs_paper == [
+        (name, key, value, "")
+        for name in sorted(TABLE2_EXTENSIONS)
+        for key, value in sorted(TABLE2_EXTENSIONS[name].items())
+    ]
 
 
 def test_declared_metadata_matches_empirical():

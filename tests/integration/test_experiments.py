@@ -31,7 +31,7 @@ def test_table1_rows_and_formatting():
 
 def test_table2_matches_paper_exactly():
     result = run_table2()
-    assert result.matches_paper, result.vs_paper
+    assert result.matches_paper, result.vs_expected
     assert result.vs_declared == []
     assert "Exact match" in format_table2(result)
 

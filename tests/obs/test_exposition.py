@@ -1,0 +1,110 @@
+"""Exposition tests: Prometheus golden output and the mod_status page."""
+
+from repro.obs import (
+    MetricsRegistry,
+    render_prometheus,
+    render_status_auto,
+    render_status_html,
+    status_fields,
+)
+
+
+def make_registry():
+    reg = MetricsRegistry()
+    reg.counter("server_requests_total", "Requests handled").inc(10)
+    reg.counter("server_connections_accepted_total",
+                "Connections accepted").inc(4)
+    reg.gauge("server_open_connections", "Open connections").set(2)
+    reg.counter("server_bytes_sent_total", "Bytes sent").inc(2048)
+    hist = reg.histogram("rt_seconds", "Latency", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    return reg
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+
+def test_prometheus_golden():
+    assert render_prometheus(make_registry()) == (
+        "# HELP server_requests_total Requests handled\n"
+        "# TYPE server_requests_total counter\n"
+        "server_requests_total 10\n"
+        "# HELP server_connections_accepted_total Connections accepted\n"
+        "# TYPE server_connections_accepted_total counter\n"
+        "server_connections_accepted_total 4\n"
+        "# HELP server_open_connections Open connections\n"
+        "# TYPE server_open_connections gauge\n"
+        "server_open_connections 2\n"
+        "# HELP server_bytes_sent_total Bytes sent\n"
+        "# TYPE server_bytes_sent_total counter\n"
+        "server_bytes_sent_total 2048\n"
+        "# HELP rt_seconds Latency\n"
+        "# TYPE rt_seconds histogram\n"
+        'rt_seconds_bucket{le="0.1"} 1\n'
+        'rt_seconds_bucket{le="1"} 2\n'
+        'rt_seconds_bucket{le="+Inf"} 2\n'
+        "rt_seconds_sum 0.55\n"
+        "rt_seconds_count 2\n"
+    )
+
+
+def test_prometheus_labeled_histogram():
+    reg = MetricsRegistry()
+    fam = reg.histogram("stage_seconds", "Stage latency",
+                        labels=("stage",), buckets=(0.1,))
+    fam.labels(stage="decode").observe(0.05)
+    text = render_prometheus(reg)
+    assert 'stage_seconds_bucket{stage="decode",le="0.1"} 1' in text
+    assert 'stage_seconds_bucket{stage="decode",le="+Inf"} 1' in text
+    assert 'stage_seconds_count{stage="decode"} 1' in text
+
+
+def test_prometheus_empty_registry():
+    assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+# -- mod_status fields --------------------------------------------------------
+
+
+def test_status_fields_apache_block_first():
+    fields = status_fields(make_registry(), uptime=10.0)
+    keys = [k for k, _ in fields]
+    assert keys[:5] == ["Uptime", "Total Accesses", "Total Connections",
+                        "BusyWorkers", "Total kBytes"]
+    by_key = dict(fields)
+    assert by_key["Uptime"] == "10.000"
+    assert by_key["Total Accesses"] == "10"
+    assert by_key["Total Connections"] == "4"
+    assert by_key["BusyWorkers"] == "2"
+    assert by_key["Total kBytes"] == "2"          # 2048 bytes
+    assert by_key["ReqPerSec"] == "1.000"
+    assert by_key["BytesPerSec"] == "204.8"
+
+
+def test_status_fields_raw_metrics_and_quantiles():
+    by_key = dict(status_fields(make_registry(), uptime=10.0))
+    assert by_key["server_requests_total"] == "10"
+    assert by_key["rt_seconds-count"] == "2"
+    for q in ("p50", "p90", "p99"):
+        assert 0.05 <= float(by_key[f"rt_seconds-{q}"]) <= 0.5
+
+
+def test_status_fields_without_uptime():
+    keys = [k for k, _ in status_fields(make_registry())]
+    assert "Uptime" not in keys
+    assert "ReqPerSec" not in keys
+    assert "Total Accesses" in keys
+
+
+def test_render_status_auto_format():
+    text = render_status_auto([("Uptime", "10.0"), ("Total Accesses", "10")])
+    assert text == "Uptime: 10.0\nTotal Accesses: 10\n"
+
+
+def test_render_status_html():
+    html = render_status_html([("Total Accesses", "10"), ("a<b", "x&y")])
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<tr><td>Total Accesses</td><td>10</td></tr>" in html
+    assert "a&lt;b" in html and "x&amp;y" in html      # escaped
+    assert "N-Server Status" in html

@@ -66,6 +66,7 @@ def test_class_inventory_follows_existence_rules(config):
     assert ("FileHandle" in names) == async_io
     assert ("Cache" in names) == (config["O6"] is not None)
     assert ("ProcessorController" in names) == (config["O5"] == "Dynamic")
+    assert ("Observability" in names) == config["O11"]
     assert ("DecodeRequestEventHandler" in names) == config["O3"]
     assert ("EncodeReplyEventHandler" in names) == config["O3"]
     # The unconditional core is always present.

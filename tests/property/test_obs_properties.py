@@ -1,0 +1,87 @@
+"""Property-based tests for histogram bucket/quantile invariants.
+
+For any sequence of observations and any legal bucket layout:
+
+* ``count``/``sum`` conserve the observations;
+* cumulative bucket counts are monotone and end at ``count``;
+* every ``le=b`` bucket counts exactly the observations ``<= b``;
+* quantile estimates never leave the observed ``[min, max]`` range and
+  are monotone in ``q``.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Histogram
+
+values = st.lists(
+    st.floats(min_value=0.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=200)
+
+bucket_bounds = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=12, unique=True).map(sorted)
+
+
+@given(vs=values, bounds=bucket_bounds)
+@settings(max_examples=200, deadline=None)
+def test_count_and_sum_conserved(vs, bounds):
+    h = Histogram(buckets=bounds)
+    for v in vs:
+        h.observe(v)
+    assert h.count == len(vs)
+    assert math.isclose(h.sum, math.fsum(vs), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(vs=values, bounds=bucket_bounds)
+@settings(max_examples=200, deadline=None)
+def test_cumulative_buckets_monotone_and_exact(vs, bounds):
+    h = Histogram(buckets=bounds)
+    for v in vs:
+        h.observe(v)
+    snap = h.snapshot()
+    cumulatives = [c for _, c in snap["buckets"]]
+    assert cumulatives == sorted(cumulatives)
+    assert cumulatives[-1] == len(vs)
+    for bound, cumulative in snap["buckets"]:
+        assert cumulative == sum(1 for v in vs if v <= bound)
+
+
+@given(vs=values, bounds=bucket_bounds,
+       qs=st.lists(st.floats(min_value=0.0, max_value=1.0,
+                             allow_nan=False),
+                   min_size=1, max_size=5))
+@settings(max_examples=200, deadline=None)
+def test_quantiles_within_observed_range_and_monotone(vs, bounds, qs):
+    h = Histogram(buckets=bounds)
+    for v in vs:
+        h.observe(v)
+    if not vs:
+        assert all(h.quantile(q) is None for q in qs)
+        return
+    lo, hi = min(vs), max(vs)
+    estimates = [h.quantile(q) for q in sorted(qs)]
+    for e in estimates:
+        assert lo <= e <= hi
+    for earlier, later in zip(estimates, estimates[1:]):
+        assert later >= earlier - 1e-9 * max(1.0, abs(earlier))
+
+
+@given(vs=values)
+@settings(max_examples=100, deadline=None)
+def test_snapshot_quantile_keys_consistent(vs):
+    h = Histogram()
+    for v in vs:
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == len(vs)
+    if vs:
+        assert snap["min"] == min(vs)
+        assert snap["max"] == max(vs)
+        assert snap["min"] <= snap["p50"] <= snap["p90"] + 1e-12
+        assert snap["p90"] <= snap["p99"] + 1e-12 <= snap["max"] + 1e-12
+    else:
+        assert snap["min"] is None and snap["p99"] is None

@@ -106,6 +106,29 @@ def test_null_profiler_is_inert():
     assert not NULL_PROFILER.enabled
 
 
+def test_profiler_is_a_registry_facade():
+    """The Profiler's counters live in its metrics registry, under the
+    exposition names the status page and Prometheus renderer use."""
+    p = Profiler()
+    p.request_handled()
+    p.bytes_sent(512)
+    assert p.registry.value("server_requests_total") == 1
+    assert p.registry.value("server_bytes_sent_total") == 512
+
+
+def test_profiler_accepts_external_registry():
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    p = Profiler(registry=reg)
+    p.connection_accepted()
+    assert reg.value("server_connections_accepted_total") == 1
+
+
+def test_null_profiler_registry_is_null():
+    assert NULL_PROFILER.registry.collect() == []
+
+
 # -- tracer ---------------------------------------------------------------------
 
 
@@ -151,6 +174,52 @@ def test_null_tracer_is_inert():
     NULL_TRACER.trace("x", "y")
     assert NULL_TRACER.records() == []
     assert not NULL_TRACER.enabled
+
+
+class FlushCountingSink(io.StringIO):
+    def __init__(self):
+        super().__init__()
+        self.flushes = 0
+
+    def flush(self):
+        self.flushes += 1
+        super().flush()
+
+
+def test_tracer_flush_flushes_sink():
+    sink = FlushCountingSink()
+    t = EventTracer(sink=sink)
+    t.trace("x", "1")
+    t.flush()
+    assert sink.flushes >= 1
+
+
+def test_tracer_close_flushes_and_detaches_sink():
+    sink = FlushCountingSink()
+    t = EventTracer(sink=sink)
+    t.trace("x", "1")
+    t.close()
+    assert sink.flushes >= 1
+    assert not sink.closed               # caller owns the sink
+    streamed = sink.getvalue()
+    t.trace("x", "2")                    # after close: ring only
+    assert sink.getvalue() == streamed
+    assert [r.detail for r in t.records()] == ["1", "2"]
+    t.close()                            # idempotent
+    t.flush()                            # no sink: no-op
+
+
+def test_tracer_dump_flushes_destination():
+    t = EventTracer()
+    t.trace("a", "1")
+    out = FlushCountingSink()
+    t.dump(out)
+    assert out.flushes >= 1
+
+
+def test_null_tracer_flush_close_noop():
+    NULL_TRACER.flush()
+    NULL_TRACER.close()
 
 
 # -- log --------------------------------------------------------------------------

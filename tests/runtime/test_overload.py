@@ -101,3 +101,47 @@ def test_unwatch():
     assert not ctl.accepting()
     ctl.unwatch("q")
     assert ctl.accepting()
+
+
+# -- status snapshot (feeds the observability sampler) -----------------------
+
+
+def test_status_snapshot_values():
+    length = {"n": 30}
+    ctl = OverloadController(max_connections=50)
+    ctl.watch("q", probe=lambda: length["n"], mark=Watermark(high=20, low=5))
+    ctl.connection_opened()
+    assert not ctl.accepting()             # trips the latch, postpones one
+    status = ctl.status()
+    assert status["open_connections"] == 1
+    assert status["max_connections"] == 50
+    assert status["postponed_accepts"] == 1
+    assert status["tripped"] == ["q"]
+    assert status["queues"]["q"] == {
+        "length": 30, "high": 20, "low": 5, "tripped": True}
+
+
+def test_status_is_read_only():
+    """status() must never trip or clear the hysteresis latch."""
+    length = {"n": 30}
+    ctl = OverloadController()
+    ctl.watch("q", probe=lambda: length["n"], mark=Watermark(high=20, low=5))
+    status = ctl.status()                  # probes above high — no trip
+    assert status["queues"]["q"]["length"] == 30
+    assert status["queues"]["q"]["tripped"] is False
+    assert ctl.overloaded_queues() == []
+    assert not ctl.accepting()             # accepting() does the tripping
+    length["n"] = 1
+    assert ctl.status()["queues"]["q"]["tripped"] is True   # no clear either
+    assert ctl.accepting()                 # accepting() below low does clear
+
+
+def test_status_probe_exception_reports_none():
+    def probe():
+        raise RuntimeError("probe died")
+
+    ctl = OverloadController()
+    ctl.watch("q", probe=probe, mark=Watermark(high=20, low=5))
+    status = ctl.status()
+    assert status["queues"]["q"]["length"] is None
+    assert status["queues"]["q"]["tripped"] is False
