@@ -11,6 +11,7 @@ from repro.co2p3s.nserver.options import (
     COPS_HTTP_OPTIONS,
     COPS_HTTP_OBSERVABILITY_OPTIONS,
     COPS_HTTP_OVERLOAD_OPTIONS,
+    COPS_HTTP_RESILIENCE_OPTIONS,
     COPS_HTTP_SCHEDULING_OPTIONS,
     NSERVER_OPTION_SPECS,
     POOL_TOGGLE_BASE,
@@ -34,6 +35,7 @@ __all__ = [
     "COPS_HTTP_OPTIONS",
     "COPS_HTTP_OBSERVABILITY_OPTIONS",
     "COPS_HTTP_OVERLOAD_OPTIONS",
+    "COPS_HTTP_RESILIENCE_OPTIONS",
     "COPS_HTTP_SCHEDULING_OPTIONS",
     "NSERVER",
     "NSERVER_MODULES",

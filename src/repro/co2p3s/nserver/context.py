@@ -1,6 +1,7 @@
 """Substitution context for the N-Server template.
 
-Maps the twelve options to the ``$parameter`` values the fragments use.
+Maps the options (the paper's twelve plus the O13 fault-tolerance
+extension) to the ``$parameter`` values the fragments use.
 Option-disabled instrumentation lines expand to :data:`OMIT`, which the
 fragment renderer deletes — this is the crosscutting weave: a feature's
 call sites exist in the generated text only when its option is on.
@@ -28,6 +29,7 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     async_io = o["O4"] == "Asynchronous"
     cache = o["O6"]
     dynamic = o["O5"] == "Dynamic"
+    resilient = bool(o["O13"])
 
     def on(flag: bool, line: str) -> str:
         return line if flag else OMIT
@@ -267,5 +269,51 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         profiling, "self.observability.sample()")
     ctx["close_tracer"] = on(debug, "self.tracer.close()")
     ctx["log_stopped"] = on(logging, 'self.log.info("server stopped")')
+
+    # -- resilience module (O13) --------------------------------------------------
+    dl_extra = ""
+    sup_extra = ""
+    q_extra = ""
+    if profiling:
+        dl_extra += (', counter=reactor.observability.registry.counter('
+                     '"server_deadline_timeouts_total", '
+                     '"Connections closed for blowing a stage deadline")')
+        sup_extra += (', counter=reactor.observability.registry.counter('
+                      '"server_worker_restarts_total", '
+                      '"Dead Event Processor workers replaced")')
+        q_extra += (', counter=reactor.observability.registry.counter('
+                    '"server_quarantined_events_total", '
+                    '"Poison events quarantined after retries")')
+    if logging:
+        dl_extra += ", log=reactor.log"
+        sup_extra += ", log=reactor.log"
+        q_extra += ", log=reactor.log"
+    ctx["make_deadlines"] = (
+        "self.deadlines = rt.DeadlineMonitor("
+        "reactor.container.connections, policy, "
+        "interval=configuration.deadline_interval" + dl_extra + ")")
+    ctx["make_supervisor"] = on(
+        pool, "self.supervisor = rt.WorkerSupervisor(reactor.processor, "
+              "interval=configuration.supervision_interval" + sup_extra + ")")
+    ctx["make_quarantine"] = on(
+        pool, "self.quarantine = rt.EventQuarantine.attach(reactor.processor, "
+              "max_retries=configuration.max_event_retries" + q_extra + ")")
+    ctx["start_supervisor"] = on(pool, "self.supervisor.start()")
+    ctx["stop_supervisor"] = on(pool, "self.supervisor.stop()")
+    ctx["quiescent_queue_check"] = on(
+        pool, "if reactor.processor.queue_length or "
+              "reactor.processor.busy_count: return False")
+    ctx["count_accept_errors"] = on(
+        profiling, "self.reactor.profiler.accept_error()")
+    ctx["log_accept_error"] = on(
+        logging, 'self.reactor.log.error(f"accept error: {exc!r}")')
+    ctx["make_resilience"] = on(resilient, "self.resilience = Resilience(self)")
+    ctx["start_resilience"] = on(resilient, "self.resilience.start()")
+    ctx["stop_resilience"] = on(resilient, "self.resilience.stop()")
+    ctx["try_accept_expr"] = (
+        "self.reactor.resilience.safe_accept(listen)" if resilient
+        else "listen.try_accept()")
+    ctx["log_drain"] = on(
+        logging, 'self.log.info(f"draining (timeout={timeout}s)")')
 
     return ctx

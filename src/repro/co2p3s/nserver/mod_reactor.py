@@ -3,11 +3,11 @@
 Table 2 rows covered:
 
 ========  =========================================================
-Reactor   body depends on O1 O2 O4 O5 O6 O8 O9 O10 O11 O12
+Reactor   body depends on O1 O2 O4 O5 O6 O8 O9 O10 O11 O12 O13
           (NOT O3 — step handlers are installed by the handlers
           module's ``install_step_handlers``; NOT O7 — idle wiring
           lives in ServerComponent / ServerEventHandler / Container)
-Server    body depends on O3 only
+Server    body depends on O3 and O13 (the ``drain`` facade method)
 ========  =========================================================
 """
 
@@ -63,6 +63,8 @@ MODULE_REACTOR = ModuleSpec(
                  guard=lambda o: o["O6"] is not None, options=("O6",)),
         Fragment("from $package.observability import Observability",
                  guard=_o("O11"), options=("O11",)),
+        Fragment("from $package.resilience import Resilience",
+                 guard=_o("O13"), options=("O13",)),
     ],
     classes=[
         ClassSpec(
@@ -104,9 +106,12 @@ MODULE_REACTOR = ModuleSpec(
                         $enable_cache_profiling
                         $wire_processor_error_trace
                         $wire_observability
+                        $make_resilience
                     ''',
+                    # $make_resilience comes last so EventQuarantine.attach
+                    # chains (not clobbers) the Debug-mode error_hook.
                     options=("O1", "O2", "O4", "O5", "O6", "O8", "O9",
-                             "O10", "O11", "O12"),
+                             "O10", "O11", "O12", "O13"),
                 ),
                 # -- connection plumbing -------------------------------------
                 Fragment(
@@ -239,6 +244,7 @@ MODULE_REACTOR = ModuleSpec(
                         $start_processor
                         $start_controller
                         $start_file_io
+                        $start_resilience
                         self.dispatcher.start()
                         $log_started
 
@@ -246,6 +252,7 @@ MODULE_REACTOR = ModuleSpec(
                         self.dispatcher.stop()
                         self.server_component.close()
                         self.container.close_all()
+                        $stop_resilience
                         $stop_controller
                         $stop_processor
                         $stop_file_io
@@ -254,7 +261,39 @@ MODULE_REACTOR = ModuleSpec(
                         $close_tracer
                         $log_stopped
                     ''',
-                    options=("O2", "O4", "O5", "O10", "O11", "O12"),
+                    # Resilience stops before the processor so a dead
+                    # worker is not respawned into a stopping pool.
+                    options=("O2", "O4", "O5", "O10", "O11", "O12", "O13"),
+                ),
+                Fragment(
+                    '''
+                    def drain(self, timeout=None):
+                        """Graceful shutdown: stop accepting, let accepted
+                        work finish up to the deadline, then force-stop.
+                        Returns True if the server went quiescent."""
+                        if timeout is None:
+                            timeout = self.configuration.drain_timeout
+                        $log_drain
+                        self.server_component.close()
+                        deadline = self.clock() + timeout
+                        drained = False
+                        settle = None
+                        while self.clock() < deadline:
+                            if self.resilience.quiescent():
+                                # Hold quiescent briefly: a reply fully
+                                # flushed may still spawn a final event.
+                                if settle is None:
+                                    settle = self.clock()
+                                elif self.clock() - settle >= 0.05:
+                                    drained = True
+                                    break
+                            else:
+                                settle = None
+                            time.sleep(0.005)
+                        self.stop()
+                        return drained
+                    ''',
+                    guard=_o("O13"), options=("O13", "O12"),
                 ),
             ],
         ),
@@ -314,6 +353,14 @@ MODULE_SERVER = ModuleSpec(
                     def __exit__(self, *exc_info):
                         self.stop()
                     '''
+                ),
+                Fragment(
+                    '''
+                    def drain(self, timeout=None):
+                        """Gracefully drain in-flight work, then stop."""
+                        return self.reactor.drain(timeout)
+                    ''',
+                    guard=_o("O13"), options=("O13",),
                 ),
             ],
         ),

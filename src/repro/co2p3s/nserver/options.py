@@ -18,6 +18,7 @@ __all__ = [
     "COPS_FTP_OPTIONS",
     "COPS_HTTP_OPTIONS",
     "COPS_HTTP_OBSERVABILITY_OPTIONS",
+    "COPS_HTTP_RESILIENCE_OPTIONS",
     "COPS_HTTP_SCHEDULING_OPTIONS",
     "COPS_HTTP_OVERLOAD_OPTIONS",
     "ALL_FEATURES_ON",
@@ -66,6 +67,12 @@ NSERVER_OPTION_SPECS = (
     OptionSpec(key="O12", name="Logging",
                describe_values="Yes/No", default=False,
                values=(True, False)),
+    # Extension beyond the paper's Table 1 (like O11's observability
+    # half): fault tolerance — per-stage deadlines, worker supervision,
+    # poison-event quarantine, hardened accept and graceful drain.
+    OptionSpec(key="O13", name="Fault tolerance",
+               describe_values="Yes/No", default=False,
+               values=(True, False)),
 )
 
 #: Table 1, COPS-FTP column.
@@ -82,6 +89,7 @@ COPS_FTP_OPTIONS: Dict[str, object] = {
     "O10": "Production",
     "O11": False,
     "O12": False,
+    "O13": False,
 }
 
 #: Table 1, COPS-HTTP column (first experiment: Figs 3/4).
@@ -98,6 +106,7 @@ COPS_HTTP_OPTIONS: Dict[str, object] = {
     "O10": "Production",
     "O11": False,
     "O12": False,
+    "O13": False,
 }
 
 #: Second COPS-HTTP experiment (Fig 5): event scheduling on, cache off.
@@ -110,6 +119,12 @@ COPS_HTTP_OVERLOAD_OPTIONS = dict(COPS_HTTP_OPTIONS, O9=True)
 #: generated framework answers ``GET /server-status`` with live
 #: counters, per-stage latency quantiles and sampler gauges.
 COPS_HTTP_OBSERVABILITY_OPTIONS = dict(COPS_HTTP_OPTIONS, O11=True)
+
+#: COPS-HTTP hardened for fault injection (O11+O13): observable *and*
+#: resilient — deadlines, supervised workers, quarantine, graceful
+#: drain, with the resilience counters on ``/server-status``.
+COPS_HTTP_RESILIENCE_OPTIONS = dict(
+    COPS_HTTP_OBSERVABILITY_OPTIONS, O13=True)
 
 #: Everything enabled — the base point for the Table 2 crosscut analysis
 #: (all optional classes exist, so existence toggles are observable).
@@ -126,6 +141,7 @@ ALL_FEATURES_ON: Dict[str, object] = {
     "O10": "Debug",
     "O11": True,
     "O12": True,
+    "O13": True,
 }
 
 #: Secondary crosscut base: with scheduling / overload / dynamic threads

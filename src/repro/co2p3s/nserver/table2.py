@@ -47,6 +47,7 @@ TABLE2_CLASS_ORDER = [
     "ServerConfiguration",
     "Server",
     "Observability",
+    "Resilience",
 ]
 
 PAPER_TABLE2 = {
@@ -89,12 +90,21 @@ PAPER_TABLE2 = {
 #: table: the Observability component exists iff O11 and its body
 #: depends on which subsystems there are to probe; the Server
 #: Component arms the sampling timer and the Server Configuration
-#: carries its period, so both gain an O11 ``+``.
+#: carries its period, so both gain an O11 ``+``.  The O13
+#: fault-tolerance extension adds the Resilience row (exists iff O13;
+#: body depends on the pool it supervises, the counters it registers
+#: and the log it writes) and '+' cells where the option weaves in:
+#: the accept loop, the configuration's tuning block, the Reactor's
+#: construction/lifecycle/drain and the Server's drain facade.
 TABLE2_EXTENSIONS = {
     "Observability": {"O2": "+", "O6": "+", "O9": "+", "O10": "+",
                       "O11": "O"},
     "ServerComponent": {"O11": "+"},
-    "ServerConfiguration": {"O11": "+"},
+    "ServerConfiguration": {"O11": "+", "O13": "+"},
+    "Resilience": {"O2": "+", "O11": "+", "O12": "+", "O13": "O"},
+    "Reactor": {"O13": "+"},
+    "AcceptorEventHandler": {"O13": "+"},
+    "Server": {"O13": "+"},
 }
 
 

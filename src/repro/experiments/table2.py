@@ -30,23 +30,24 @@ __all__ = ["Table2Result", "run_table2", "format_table2", "paper_matrix",
            "expected_matrix"]
 
 
-def _matrix_from(table) -> CrosscutMatrix:
+def _matrix_from(table, noptions: int) -> CrosscutMatrix:
     m = CrosscutMatrix(class_names=list(TABLE2_CLASS_ORDER),
-                       option_keys=[f"O{i}" for i in range(1, 13)])
+                       option_keys=[f"O{i}" for i in range(1, noptions + 1)])
     for name in TABLE2_CLASS_ORDER:
         m.cells[name] = {f"O{i}": table.get(name, {}).get(f"O{i}", "")
-                         for i in range(1, 13)}
+                         for i in range(1, noptions + 1)}
     return m
 
 
 def paper_matrix() -> CrosscutMatrix:
-    """The paper's published Table 2 (no extension rows)."""
-    return _matrix_from(PAPER_TABLE2)
+    """The paper's published Table 2 (12 options, no extension rows)."""
+    return _matrix_from(PAPER_TABLE2, 12)
 
 
 def expected_matrix() -> CrosscutMatrix:
-    """Paper Table 2 plus this reproduction's observability extension."""
-    return _matrix_from(EXPECTED_TABLE2)
+    """Paper Table 2 plus this reproduction's observability (O11) and
+    resilience (O13) extensions."""
+    return _matrix_from(EXPECTED_TABLE2, 13)
 
 
 @dataclass
@@ -61,7 +62,8 @@ class Table2Result:
     @property
     def matches_paper(self) -> bool:
         """Empirical matrix equals the paper's table plus the declared
-        observability extension rows — nothing more, nothing less."""
+        observability and resilience extensions — nothing more, nothing
+        less."""
         return not self.vs_expected
 
 
@@ -87,8 +89,9 @@ def format_table2(result: Table2Result) -> str:
     if result.matches_paper:
         lines.append("")
         lines.append("Exact match with the paper's Table 2 plus the "
-                     "Observability extension rows "
-                     f"({len(result.empirical.class_names)} classes x 12 options).")
+                     "Observability and Resilience extension rows "
+                     f"({len(result.empirical.class_names)} classes x "
+                     f"{len(result.empirical.option_keys)} options).")
     else:
         lines.append("")
         lines.append("DIFFERENCES vs expected (class, option, ours, expected):")

@@ -1,0 +1,34 @@
+"""Deterministic fault-injection plane for the N-Server runtime.
+
+Wraps the runtime's I/O seams — :class:`~repro.runtime.handles.SocketHandle`,
+the application hook methods, and the async file-I/O loader — with
+seeded, scriptable fault schedules: partial reads/writes, ``EAGAIN``
+storms, mid-stream resets, disk-read errors and injected handler
+exceptions.  Every decision comes from a per-stream PRNG derived from a
+single seed, so a failing run replays exactly; nothing here is wired
+into a server unless a :class:`FaultPlane` is explicitly installed, so
+production builds carry zero overhead.
+
+The hostile-client helpers (:func:`trickle_send`, :func:`abrupt_reset`)
+attack from the *outside* — slow-peer trickle and RST injection — which
+no server-side wrapper can emulate.
+"""
+
+from repro.faults.clients import abrupt_reset, trickle_send
+from repro.faults.hooks import FaultyHooks, HandlerFault, WorkerCrash
+from repro.faults.plane import FaultPlane
+from repro.faults.schedule import FaultAction, FaultSchedule, FaultSpec
+from repro.faults.sockets import faulty_handle_cls
+
+__all__ = [
+    "FaultAction",
+    "FaultPlane",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultyHooks",
+    "HandlerFault",
+    "WorkerCrash",
+    "abrupt_reset",
+    "faulty_handle_cls",
+    "trickle_send",
+]

@@ -1,0 +1,48 @@
+"""Hostile clients: faults no server-side wrapper can emulate.
+
+These drive a real socket from the peer side — a slow-loris byte
+trickle and an abrupt RST — for tests and demos that need the kernel to
+deliver the hostility (partial segments arriving over time, a genuine
+ECONNRESET) rather than a simulated syscall outcome.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+__all__ = ["trickle_send", "abrupt_reset"]
+
+
+def trickle_send(sock: socket.socket, data: bytes, chunk: int = 1,
+                 delay: float = 0.02, deadline: float = None) -> int:
+    """Slow-loris: send ``data`` in ``chunk``-byte pieces with ``delay``
+    between them.  Returns bytes actually sent; stops early (without
+    raising) if the server closes the connection or ``deadline`` (a
+    ``time.monotonic`` value) passes — a deadline-enforcing server is
+    *expected* to hang up on this client.
+    """
+    sent = 0
+    for start in range(0, len(data), max(1, chunk)):
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        piece = data[start:start + max(1, chunk)]
+        try:
+            sock.sendall(piece)
+        except OSError:
+            break
+        sent += len(piece)
+        time.sleep(delay)
+    return sent
+
+
+def abrupt_reset(sock: socket.socket) -> None:
+    """Close with an RST instead of a FIN (SO_LINGER with zero timeout),
+    so the server observes ECONNRESET mid-stream."""
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0))
+    except OSError:
+        pass
+    sock.close()

@@ -1,0 +1,86 @@
+"""Fault-injecting application hooks.
+
+:class:`FaultyHooks` wraps any :class:`~repro.runtime.communicator.ServerHooks`
+object and injects failures into the Handle Request step per the
+schedule's ``handle`` stream:
+
+* :class:`HandlerFault` (an ``Exception``) — the ordinary buggy-handler
+  case.  The Communicator's pipeline catches it, records an error and
+  closes the connection; the server keeps running.
+* :class:`WorkerCrash` (a ``BaseException``) — the worst case: it
+  escapes both the Communicator pipeline and the Event Processor's
+  Exception guard, killing the worker thread mid-event.  This is the
+  fault the O13 worker supervisor exists to survive.  With no processor
+  pool (O2=No) the event-dispatching thread itself would die — which is
+  exactly the wedge fault tolerance is for; only inject it into pooled
+  configurations unless that is the point.
+"""
+
+from __future__ import annotations
+
+from repro.faults.schedule import FaultSchedule
+
+__all__ = ["HandlerFault", "WorkerCrash", "FaultyHooks"]
+
+
+class HandlerFault(Exception):
+    """Injected handler failure (survivable: an ordinary Exception)."""
+
+
+class WorkerCrash(BaseException):
+    """Injected worker-killing failure.
+
+    Deliberately a ``BaseException``: the runtime's ``except Exception``
+    guards — the Communicator pipeline and the Event Processor worker
+    loop — must not catch it, so it tears down the worker thread the
+    way a real interpreter-level failure would.
+    """
+
+
+class FaultyHooks:
+    """Delegating wrapper around application hooks.
+
+    Not a ``ServerHooks`` subclass on purpose: inherited defaults would
+    shadow the wrapped object's overrides.  Every hook the framework
+    calls is forwarded; only ``handle`` consults the fault schedule.
+    """
+
+    def __init__(self, inner, schedule: FaultSchedule,
+                 stream: str = "handler"):
+        self.inner = inner
+        self.schedule = schedule
+        self.stream = stream
+
+    # -- the faulted step ----------------------------------------------------
+    def handle(self, request, conn):
+        kind = self.schedule.decide("handle", self.stream)
+        if kind == "crash":
+            raise WorkerCrash(f"injected worker crash on {conn.handle.name}")
+        if kind == "error":
+            raise HandlerFault(f"injected handler error on {conn.handle.name}")
+        return self.inner.handle(request, conn)
+
+    # -- transparent delegation ----------------------------------------------
+    def split_request(self, data):
+        return self.inner.split_request(data)
+
+    def decode(self, raw, conn):
+        return self.inner.decode(raw, conn)
+
+    def encode(self, result, conn):
+        return self.inner.encode(result, conn)
+
+    def on_connect(self, conn):
+        return self.inner.on_connect(conn)
+
+    def on_close(self, conn):
+        return self.inner.on_close(conn)
+
+    def classify_priority(self, conn):
+        return self.inner.classify_priority(conn)
+
+    def __getattr__(self, name):
+        # Optional hooks (on_timer, server_greeting, make_cache_policy,
+        # application helpers) resolve against the wrapped object; the
+        # framework probes for them with hasattr.
+        return getattr(self.inner, name)

@@ -1,0 +1,154 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultSchedule` turns a :class:`FaultSpec` (per-operation fault
+probabilities) plus one integer seed into a reproducible stream of
+fault decisions.  Each *stream* (one per connection, one for the disk,
+one for the handler hooks) owns its own PRNG whose seed is derived from
+the master seed and the stream name with a stable hash — ``hash()``
+varies across interpreter runs, so :mod:`hashlib` does the derivation.
+Two schedules built from the same spec and seed therefore produce
+identical per-stream decision sequences regardless of thread timing,
+which is what makes a failing fault run replayable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+import random
+
+__all__ = ["FaultSpec", "FaultAction", "FaultSchedule"]
+
+
+@dataclass
+class FaultSpec:
+    """Per-operation fault probabilities (all default 0.0 = no faults).
+
+    ``recv``/``send`` decisions are evaluated in the order reset →
+    eagain → partial, from a single uniform draw per operation, so the
+    probabilities of one operation must sum to at most 1.
+    """
+
+    # -- socket reads -------------------------------------------------------
+    recv_reset: float = 0.0       # mid-stream connection reset (EOF + close)
+    recv_eagain: float = 0.0      # spurious EAGAIN (readiness lied)
+    partial_read: float = 0.0     # cap the read at partial_read_bytes
+    partial_read_bytes: int = 1
+    # -- socket writes ------------------------------------------------------
+    send_reset: float = 0.0       # peer reset while flushing
+    send_eagain: float = 0.0      # kernel buffer "full"
+    partial_write: float = 0.0    # flush at most partial_write_bytes
+    partial_write_bytes: int = 1
+    # -- disk ---------------------------------------------------------------
+    disk_error: float = 0.0       # OSError from the file-I/O loader
+    # -- application hooks ---------------------------------------------------
+    handler_error: float = 0.0    # hook raises HandlerFault (an Exception)
+    handler_crash: float = 0.0    # hook raises WorkerCrash (a BaseException)
+
+    def thresholds(self) -> Dict[str, Tuple[Tuple[str, float], ...]]:
+        """op -> ordered (kind, probability) decision table."""
+        return {
+            "recv": (("reset", self.recv_reset),
+                     ("eagain", self.recv_eagain),
+                     ("partial", self.partial_read)),
+            "send": (("reset", self.send_reset),
+                     ("eagain", self.send_eagain),
+                     ("partial", self.partial_write)),
+            "disk": (("error", self.disk_error),),
+            "handle": (("crash", self.handler_crash),
+                       ("error", self.handler_error)),
+        }
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One recorded decision: the ``seq``-th draw on ``stream``."""
+
+    seq: int
+    stream: str
+    op: str
+    kind: str
+
+
+def _derive_seed(seed: int, stream: str) -> int:
+    digest = hashlib.sha256(f"{seed}/{stream}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class FaultSchedule:
+    """Deterministic per-stream fault decisions from a single seed.
+
+    Thread-safe: streams are created and drawn from under a lock (the
+    draws themselves are per-stream sequential, so per-stream sequences
+    are reproducible even when many connections interleave).
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+        self._thresholds = spec.thresholds()
+        self._lock = threading.Lock()
+        self._rngs: Dict[str, random.Random] = {}
+        self._seq: Dict[str, int] = {}
+        self._stream_counters: Dict[str, int] = {}
+        self._log: List[FaultAction] = []
+
+    # -- stream management ----------------------------------------------------
+    def next_stream(self, prefix: str = "conn") -> str:
+        """A fresh stream name (``conn-0``, ``conn-1``, ...).  Naming by
+        arrival order — not by peer address, whose ephemeral port would
+        differ between runs — keeps stream identity reproducible."""
+        with self._lock:
+            n = self._stream_counters.get(prefix, 0)
+            self._stream_counters[prefix] = n + 1
+        return f"{prefix}-{n}"
+
+    # -- decisions -----------------------------------------------------------
+    def decide(self, op: str, stream: str) -> str:
+        """Draw the next fault decision for ``op`` on ``stream``.
+
+        Returns the fault kind (``"reset"``, ``"eagain"``, ``"partial"``,
+        ``"error"``, ``"crash"``) or ``"ok"``.
+        """
+        with self._lock:
+            rng = self._rngs.get(stream)
+            if rng is None:
+                rng = random.Random(_derive_seed(self.seed, stream))
+                self._rngs[stream] = rng
+                self._seq[stream] = 0
+            draw = rng.random()
+            kind = "ok"
+            for candidate, probability in self._thresholds[op]:
+                if draw < probability:
+                    kind = candidate
+                    break
+                draw -= probability
+            seq = self._seq[stream]
+            self._seq[stream] = seq + 1
+            self._log.append(FaultAction(seq=seq, stream=stream,
+                                         op=op, kind=kind))
+        return kind
+
+    # -- inspection -----------------------------------------------------------
+    def actions(self, stream: Optional[str] = None) -> List[FaultAction]:
+        """Recorded decisions; a per-stream slice is deterministic for a
+        given seed (the global interleaving is not)."""
+        with self._lock:
+            log = list(self._log)
+        if stream is None:
+            return log
+        return [a for a in log if a.stream == stream]
+
+    def injected(self, stream: Optional[str] = None) -> List[FaultAction]:
+        """Only the decisions that actually injected a fault."""
+        return [a for a in self.actions(stream) if a.kind != "ok"]
+
+    def counts(self) -> Dict[str, int]:
+        """fault kind -> number of injections (``ok`` excluded)."""
+        out: Dict[str, int] = {}
+        for action in self.actions():
+            if action.kind != "ok":
+                out[action.kind] = out.get(action.kind, 0) + 1
+        return out

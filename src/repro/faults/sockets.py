@@ -1,0 +1,82 @@
+"""Fault-injecting socket handles.
+
+:func:`faulty_handle_cls` builds a dynamic subclass of any
+:class:`~repro.runtime.handles.SocketHandle`-compatible base (the
+library handle or a generated framework's ``Handle``) whose
+``try_recv``/``try_send`` consult a :class:`FaultSchedule` before
+touching the real socket:
+
+* ``eagain`` — report "would block" although the kernel had data/room
+  (an EAGAIN storm is just this fault at high probability);
+* ``reset``  — simulate a mid-stream connection reset: the handle closes
+  and the runtime sees the usual EOF/closed-handle path;
+* ``partial`` — cap the operation at a few bytes, modelling a trickling
+  peer or a congested send buffer.
+
+Faults are injected *above* the socket, so the peer is unaffected —
+what is being tested is how the server reacts to the syscall outcomes.
+"""
+
+from __future__ import annotations
+
+from repro.faults.schedule import FaultSchedule
+from repro.runtime.handles import SocketHandle
+
+__all__ = ["faulty_handle_cls"]
+
+
+def faulty_handle_cls(schedule: FaultSchedule, base: type = SocketHandle,
+                      stream_prefix: str = "conn") -> type:
+    """A ``base`` subclass whose socket I/O consults ``schedule``.
+
+    Handles name their fault stream by construction order
+    (``conn-0``, ``conn-1``, ...), so per-connection fault sequences
+    replay exactly under the same seed.
+    """
+
+    class FaultySocketHandle(base):  # type: ignore[misc, valid-type]
+
+        def __init__(self, sock, name: str = ""):
+            super().__init__(sock, name=name)
+            self.fault_stream = schedule.next_stream(stream_prefix)
+
+        def try_recv(self, max_bytes: int = 65536):
+            kind = schedule.decide("recv", self.fault_stream)
+            if kind == "eagain":
+                return None
+            if kind == "reset":
+                self.close()
+                return b""
+            if kind == "partial":
+                max_bytes = max(1, min(max_bytes,
+                                       schedule.spec.partial_read_bytes))
+            return super().try_recv(max_bytes)
+
+        def try_send(self) -> int:
+            if not self.out_buffer:
+                return 0
+            kind = schedule.decide("send", self.fault_stream)
+            if kind == "eagain":
+                return 0
+            if kind == "reset":
+                self.close()
+                return 0
+            if kind == "partial":
+                return self._send_capped(schedule.spec.partial_write_bytes)
+            return super().try_send()
+
+        def _send_capped(self, cap: int) -> int:
+            chunk = bytes(self.out_buffer[:max(1, cap)])
+            try:
+                n = self.sock.send(chunk)
+            except BlockingIOError:
+                return 0
+            except (ConnectionResetError, BrokenPipeError):
+                self.close()
+                return 0
+            del self.out_buffer[:n]
+            return n
+
+    FaultySocketHandle.__name__ = f"Faulty{base.__name__}"
+    FaultySocketHandle.__qualname__ = FaultySocketHandle.__name__
+    return FaultySocketHandle

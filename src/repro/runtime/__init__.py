@@ -42,6 +42,13 @@ from repro.runtime.idle import IdleConnectionReaper
 from repro.runtime.overload import OverloadController, Watermark
 from repro.runtime.processor import EventProcessor, ProcessorController
 from repro.runtime.profiling import NULL_PROFILER, NullProfiler, Profiler, ServerProfile
+from repro.runtime.resilience import (
+    DeadlineMonitor,
+    DeadlinePolicy,
+    EventQuarantine,
+    WorkerSupervisor,
+    is_transient_accept_error,
+)
 from repro.runtime.scheduler import FifoEventQueue, QuotaPriorityQueue
 from repro.runtime.server import ReactorServer, RuntimeConfig
 from repro.runtime.tracing import (
@@ -65,10 +72,13 @@ __all__ = [
     "ConnectEvent",
     "Connector",
     "Container",
+    "DeadlineMonitor",
+    "DeadlinePolicy",
     "Event",
     "EventDispatcher",
     "EventKind",
     "EventProcessor",
+    "EventQuarantine",
     "EventSource",
     "EventSourceDecorator",
     "EventTracer",
@@ -106,5 +116,7 @@ __all__ = [
     "TraceRecord",
     "UserEvent",
     "Watermark",
+    "WorkerSupervisor",
     "WritableEvent",
+    "is_transient_accept_error",
 ]

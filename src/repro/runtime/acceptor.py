@@ -20,6 +20,7 @@ from repro.runtime.events import AcceptEvent
 from repro.runtime.handles import ListenHandle, SocketHandle
 from repro.runtime.overload import OverloadController
 from repro.runtime.profiling import NULL_PROFILER
+from repro.runtime.resilience import is_transient_accept_error
 
 __all__ = ["Acceptor", "Connector"]
 
@@ -41,6 +42,7 @@ class Acceptor:
         overload: Optional[OverloadController] = None,
         profiler=NULL_PROFILER,
         clock=time.monotonic,
+        backoff: float = 0.05,
     ):
         self.listen = listen
         self.source = source
@@ -48,8 +50,10 @@ class Acceptor:
         self.overload = overload
         self.profiler = profiler
         self.clock = clock
+        self.backoff = backoff
         self.accepted = 0
         self.postponed = 0
+        self.accept_errors = 0
 
     def open(self) -> None:
         """Register the listen handle so AcceptEvents start flowing."""
@@ -63,7 +67,21 @@ class Acceptor:
                 # backlog; they will surface as another AcceptEvent.
                 self.postponed += 1
                 return
-            handle = self.listen.try_accept()
+            try:
+                handle = self.listen.try_accept()
+            except OSError as exc:
+                # accept() must never crash the dispatcher.  A connection
+                # aborted in the backlog (or an interrupted call) is
+                # consumed — retry at once.  Descriptor/buffer exhaustion
+                # (EMFILE & co.) will not clear by retrying: back off
+                # briefly and shed; the level-triggered source re-raises
+                # the AcceptEvent while the backlog is non-empty.
+                self.accept_errors += 1
+                self.profiler.accept_error()
+                if is_transient_accept_error(exc):
+                    continue
+                time.sleep(self.backoff)
+                return
             if handle is None:
                 return
             handle.last_activity = self.clock()
@@ -75,6 +93,8 @@ class Acceptor:
             self.source.register(handle)
 
     def close(self) -> None:
+        if self.listen.closed:  # drain() closes first; stop() closes again
+            return
         self.source.deregister(self.listen)
         self.listen.close()
 

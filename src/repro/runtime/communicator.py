@@ -40,12 +40,14 @@ CLOSE = object()
 
 class _Ticket:
     """Order token for one in-flight request; carries its span so the
-    asynchronous completion path can close the right one."""
+    asynchronous completion path can close the right one, and its start
+    time so a deadline monitor can spot overdue requests."""
 
-    __slots__ = ("span",)
+    __slots__ = ("span", "started")
 
-    def __init__(self, span):
+    def __init__(self, span, started: float = 0.0):
         self.span = span
+        self.started = started
 
 
 class ServerHooks:
@@ -141,6 +143,11 @@ class Communicator:
         self.priority = 0
         self.closed = False
         self.close_after_flush = False
+        # Deadline stamps (read by a DeadlineMonitor; None = stage idle).
+        #: when the first byte of a still-incomplete request arrived
+        self.read_started: Optional[float] = None
+        #: when output last stopped making progress with bytes buffered
+        self.write_blocked_since: Optional[float] = None
         #: application scratch space (sessions, auth state, ...)
         self.context: dict = {}
         self.requests_completed = 0
@@ -167,6 +174,13 @@ class Communicator:
         self.tracer.trace("read", f"{self.handle.name} +{len(chunk)}B")
         self.in_buffer.extend(chunk)
         self._pump_requests()
+        # Header deadline stamp: leftover bytes are an incomplete request.
+        # The stamp survives further partial reads (a trickling peer must
+        # not reset its own clock) and clears once the buffer drains.
+        if not self.in_buffer:
+            self.read_started = None
+        elif self.read_started is None:
+            self.read_started = now
 
     def on_writable(self, event: Event = None) -> None:
         """Send Reply step: flush buffered output."""
@@ -183,6 +197,7 @@ class Communicator:
         if self.handle.closed:
             self.close()
             return
+        self._stamp_write(sent)
         self._sync_interest()
         if self.close_after_flush and not self.handle.out_buffer:
             self.close()
@@ -213,7 +228,7 @@ class Communicator:
 
     def _run_pipeline(self, raw: bytes) -> None:
         span = self.spans.start("request", detail=self.handle.name)
-        ticket = _Ticket(span)
+        ticket = _Ticket(span, started=self.clock())
         with self._ticket_lock:
             self._awaiting.append(ticket)
         try:
@@ -307,13 +322,38 @@ class Communicator:
         if self.handle.closed:
             self.close()
             return
+        self._stamp_write(sent)
         self._sync_interest()
         if self.close_after_flush and not self.handle.out_buffer:
             self.close()
 
+    def _stamp_write(self, sent: int) -> None:
+        """Write deadline stamp: since when has buffered output made no
+        progress?  Any progress restarts the clock; a drained buffer
+        clears it."""
+        if not self.handle.out_buffer:
+            self.write_blocked_since = None
+        elif sent or self.write_blocked_since is None:
+            self.write_blocked_since = self.clock()
+
     def _sync_interest(self) -> None:
         if self.update_interest is not None and not self.closed:
             self.update_interest(self.handle)
+
+    # -- resilience probes ---------------------------------------------------
+    def oldest_pending_started(self) -> Optional[float]:
+        """Start time of the oldest in-flight request, or None when the
+        pipeline is idle (read by a DeadlineMonitor)."""
+        with self._ticket_lock:
+            return self._awaiting[0].started if self._awaiting else None
+
+    def busy(self) -> bool:
+        """True while work is still owed: an in-flight request or
+        unflushed reply bytes (read by the graceful-drain loop)."""
+        with self._ticket_lock:
+            if self._awaiting:
+                return True
+        return bool(self.handle.out_buffer) and not self.closed
 
     # -- teardown ----------------------------------------------------------
     def close(self) -> None:

@@ -48,6 +48,9 @@ class AsyncFileIO:
         self.sink = sink
         self.cache = cache
         self.root = root
+        #: optional fault hook called with the path before every disk
+        #: read; raising OSError simulates a failing disk (fault plane)
+        self.fault_hook: Optional[Callable[[str], None]] = None
         self._queue = FifoEventQueue()
         self._threads = [
             threading.Thread(target=self._worker, daemon=True,
@@ -87,6 +90,8 @@ class AsyncFileIO:
         self._queue.push((path, act, priority))
 
     def _load(self, path: str) -> bytes:
+        if self.fault_hook is not None:
+            self.fault_hook(path)
         if self.cache is not None:
             return self.cache.get_file(path).payload
         full = path

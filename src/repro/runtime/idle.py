@@ -61,18 +61,26 @@ class IdleConnectionReaper:
 
     # -- scanning -----------------------------------------------------------
     def scan(self) -> int:
-        """One pass; returns how many connections were reaped."""
+        """One pass; returns how many connections were reaped.
+
+        The registry is snapshotted under the lock and examined outside
+        it: ``watch``/``unwatch`` from connection threads can then never
+        race the scan into a dictionary-changed-during-iteration error,
+        and the lock is held for a copy rather than the whole pass.
+        """
         now = self.clock()
         with self._lock:
-            victims = [h for h in self._watched.values()
-                       if not getattr(h, "closed", False)
-                       and now - h.last_activity > self.idle_limit]
+            snapshot = list(self._watched.items())
+        victims = [h for _key, h in snapshot
+                   if not getattr(h, "closed", False)
+                   and now - h.last_activity > self.idle_limit]
+        # Also forget handles closed by other paths.
+        stale = [key for key, h in snapshot if getattr(h, "closed", False)]
+        with self._lock:
             for h in victims:
                 self._watched.pop(id(h), None)
-            # Also forget handles closed by other paths.
-            for key, h in list(self._watched.items()):
-                if getattr(h, "closed", False):
-                    self._watched.pop(key, None)
+            for key in stale:
+                self._watched.pop(key, None)
         for h in victims:
             self.reaped += 1
             self.on_idle(h)

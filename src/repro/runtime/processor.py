@@ -57,6 +57,8 @@ class EventProcessor:
         self._busy = 0
         self.processed = 0
         self.errors = 0
+        self.worker_deaths = 0
+        self.last_death: Optional[BaseException] = None
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -105,6 +107,19 @@ class EventProcessor:
         """Ask one worker to retire (low priority: after current backlog)."""
         self.queue.push(_Retire(), priority=-(10 ** 9))
 
+    def prune_dead(self) -> int:
+        """Forget workers that died (a BaseException escaped a handler).
+
+        Returns how many were removed so a supervisor can spawn that
+        many replacements; a no-op once the pool is stopped."""
+        with self._lock:
+            if not self._running:
+                return 0
+            dead = [t for t in self._threads if not t.is_alive()]
+            for t in dead:
+                self._threads.remove(t)
+        return len(dead)
+
     @property
     def thread_count(self) -> int:
         with self._lock:
@@ -124,6 +139,17 @@ class EventProcessor:
         self.queue.push(event, priority=getattr(event, "priority", 0))
 
     def _worker(self) -> None:
+        try:
+            self._loop()
+        except BaseException as exc:  # noqa: BLE001 - a poison event killed us
+            # Exceptions are survived in _loop; only a BaseException gets
+            # here.  Record the death and exit quietly — the thread stays
+            # in ``_threads`` until prune_dead() so a supervisor sees it.
+            self.last_death = exc
+            with self._lock:
+                self.worker_deaths += 1
+
+    def _loop(self) -> None:
         while True:
             item = self.queue.pop(timeout=0.25)
             if isinstance(item, _Retire):

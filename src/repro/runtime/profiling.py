@@ -79,6 +79,8 @@ class Profiler:
             "server_errors_total", "Pipeline/handler errors")
         self._events_dispatched = reg.counter(
             "server_events_dispatched_total", "Events routed by dispatchers")
+        self._accept_errors = reg.counter(
+            "server_accept_errors_total", "OSErrors survived by the accept loop")
         self._cache_stats = None  # optional CacheStats to sample
 
     def attach_cache(self, stats) -> None:
@@ -109,6 +111,9 @@ class Profiler:
 
     def event_dispatched(self, n: int = 1) -> None:
         self._events_dispatched.inc(n)
+
+    def accept_error(self) -> None:
+        self._accept_errors.inc()
 
     def snapshot(self) -> ServerProfile:
         return ServerProfile(
@@ -160,6 +165,9 @@ class NullProfiler(Profiler):
         pass
 
     def event_dispatched(self, n: int = 1) -> None:
+        pass
+
+    def accept_error(self) -> None:
         pass
 
     def snapshot(self) -> ServerProfile:

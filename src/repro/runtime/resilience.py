@@ -1,0 +1,291 @@
+"""Resilience runtime (N-Server option O13, "Fault tolerance").
+
+Three cooperating mechanisms that make a generated server degrade
+gracefully instead of wedging under hostile conditions:
+
+* :class:`DeadlineMonitor` — per-stage deadlines on every connection.
+  A peer that trickles a request byte-by-byte (slowloris), a handler
+  that never completes, or a receiver that stops reading its reply all
+  hold resources forever; the monitor closes the connection and records
+  *which* stage blew the deadline (``header`` / ``request`` / ``write``).
+* :class:`WorkerSupervisor` — watches an Event Processor pool for dead
+  worker threads (a ``BaseException`` escaping the handler kills one)
+  and replaces them, so the pool never silently shrinks to zero.
+* :class:`EventQuarantine` — an ``error_hook`` that retries a failing
+  event a bounded number of times and then quarantines it, so a poison
+  event cannot re-kill fresh workers forever.
+
+Plus :func:`is_transient_accept_error`, the classification the hardened
+Acceptor uses to decide between retrying ``accept()`` immediately
+(``ECONNABORTED``, ``EINTR``) and backing off to shed load (``EMFILE``
+and friends — descriptor/buffer exhaustion does not clear by retrying).
+
+Everything here follows the option-guarded style of the rest of the
+runtime: null-object metrics/log defaults, zero references from any code
+path that did not opt in.
+"""
+
+from __future__ import annotations
+
+import errno
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.registry import NULL_METRIC
+from repro.runtime.tracing import NULL_LOG
+
+__all__ = [
+    "DeadlinePolicy",
+    "DeadlineMonitor",
+    "WorkerSupervisor",
+    "EventQuarantine",
+    "is_transient_accept_error",
+]
+
+
+# -- accept-loop error classification ----------------------------------------
+
+#: transient per-connection failures: the aborted connection is consumed
+#: from the backlog (or the call was merely interrupted), so retrying the
+#: accept loop immediately is correct and cannot spin.
+_TRANSIENT_ACCEPT_ERRNOS = frozenset(
+    e for e in (
+        getattr(errno, "ECONNABORTED", None),
+        getattr(errno, "EINTR", None),
+        getattr(errno, "EPROTO", None),
+    ) if e is not None)
+
+
+def is_transient_accept_error(exc: OSError) -> bool:
+    """True when the accept loop should just try again; False for
+    resource exhaustion (``EMFILE``/``ENFILE``/``ENOBUFS``/``ENOMEM``)
+    and anything unrecognised, where the right move is to back off and
+    shed — the kernel backlog keeps the connections queued meanwhile."""
+    return getattr(exc, "errno", None) in _TRANSIENT_ACCEPT_ERRNOS
+
+
+# -- per-stage connection deadlines -------------------------------------------
+
+
+@dataclass
+class DeadlinePolicy:
+    """Per-stage timeouts in seconds; ``None`` disables a stage.
+
+    * ``header`` — a partial request has been buffered (first byte seen,
+      no complete request framed yet) for too long: slow-peer trickle.
+    * ``request`` — the oldest in-flight request (accepted by the
+      pipeline, reply not yet produced) is overdue: a stuck handler or a
+      lost asynchronous completion.
+    * ``write`` — reply bytes are buffered with no send progress: the
+      peer stopped reading.
+    """
+
+    header: Optional[float] = 5.0
+    request: Optional[float] = 30.0
+    write: Optional[float] = 30.0
+
+
+class DeadlineMonitor:
+    """Scans connections and closes any that blew a stage deadline.
+
+    ``connections`` is a zero-argument callable returning the current
+    connection list (:meth:`Container.connections` fits).  Violations
+    are tallied per stage in :attr:`reasons` and on ``counter``.
+    """
+
+    def __init__(
+        self,
+        connections: Callable[[], list],
+        policy: DeadlinePolicy,
+        clock=time.monotonic,
+        interval: float = 0.1,
+        counter=NULL_METRIC,
+        log=NULL_LOG,
+    ):
+        self.connections = connections
+        self.policy = policy
+        self.clock = clock
+        self.interval = interval
+        self.counter = counter
+        self.log = log
+        self.reasons = {"header": 0, "request": 0, "write": 0}
+        self.timed_out = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- scanning -----------------------------------------------------------
+    def _violation(self, conn, now: float) -> Optional[str]:
+        p = self.policy
+        if p.header is not None:
+            started = getattr(conn, "read_started", None)
+            if started is not None and now - started > p.header:
+                return "header"
+        if p.request is not None:
+            oldest = conn.oldest_pending_started()
+            if oldest is not None and now - oldest > p.request:
+                return "request"
+        if p.write is not None:
+            blocked = getattr(conn, "write_blocked_since", None)
+            if blocked is not None and now - blocked > p.write:
+                return "write"
+        return None
+
+    def scan(self) -> int:
+        """One pass; returns how many connections were closed."""
+        now = self.clock()
+        closed = 0
+        for conn in self.connections():
+            if conn.closed:
+                continue
+            reason = self._violation(conn, now)
+            if reason is None:
+                continue
+            self.reasons[reason] += 1
+            self.timed_out += 1
+            self.counter.inc()
+            self.log.info(
+                f"deadline ({reason}) exceeded on {conn.handle.name}; closing")
+            conn.close()
+            closed += 1
+        return closed
+
+    # -- background thread ----------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="deadline-monitor")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.scan()
+
+
+# -- worker supervision -------------------------------------------------------
+
+
+class WorkerSupervisor:
+    """Detects dead Event Processor workers and replaces them.
+
+    A handler that raises an ``Exception`` is survived in place; only a
+    ``BaseException`` kills a worker thread.  The supervisor prunes dead
+    threads from the pool and spawns replacements so the pool holds its
+    configured size.
+    """
+
+    def __init__(self, processor, interval: float = 0.05,
+                 counter=NULL_METRIC, log=NULL_LOG):
+        self.processor = processor
+        self.interval = interval
+        self.counter = counter
+        self.log = log
+        self.restarts = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def check(self) -> int:
+        """One supervision pass; returns how many workers were replaced."""
+        dead = self.processor.prune_dead()
+        for _ in range(dead):
+            try:
+                self.processor.add_thread()
+            except RuntimeError:  # pool already stopped; nothing to restore
+                return 0
+            self.restarts += 1
+            self.counter.inc()
+            self.log.error(
+                f"{self.processor.name} worker died "
+                f"({self.processor.last_death!r}); replaced")
+        return dead
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="worker-supervisor")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.check()
+
+
+# -- poison-event quarantine ---------------------------------------------------
+
+
+class EventQuarantine:
+    """Retry-then-quarantine ``error_hook`` for an Event Processor.
+
+    Each failing event is resubmitted up to ``max_retries`` times; after
+    that it lands in :attr:`quarantined` instead of being retried — a
+    poison event must not keep re-killing the pool.  Attempts are keyed
+    by ``event_id`` because :class:`~repro.runtime.events.Event` uses
+    ``__slots__``; the key table is pruned so it cannot grow unbounded.
+
+    Use :meth:`attach` to install on a processor: it chains any existing
+    ``error_hook`` (e.g. the O10=Debug ``trace_error``) as ``fallback``.
+    """
+
+    _MAX_TRACKED = 1024
+
+    def __init__(self, max_retries: int = 2,
+                 resubmit: Optional[Callable] = None,
+                 counter=NULL_METRIC, log=NULL_LOG,
+                 fallback: Optional[Callable] = None):
+        self.max_retries = max_retries
+        self.resubmit = resubmit
+        self.counter = counter
+        self.log = log
+        self.fallback = fallback
+        self.quarantined: list = []
+        self.retries = 0
+        self._attempts: dict = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def attach(cls, processor, max_retries: int = 2,
+               counter=NULL_METRIC, log=NULL_LOG) -> "EventQuarantine":
+        quarantine = cls(max_retries=max_retries, resubmit=processor.submit,
+                         counter=counter, log=log,
+                         fallback=processor.error_hook)
+        processor.error_hook = quarantine
+        return quarantine
+
+    def __call__(self, event, exc: BaseException) -> None:
+        if self.fallback is not None:
+            self.fallback(event, exc)
+        key = getattr(event, "event_id", id(event))
+        with self._lock:
+            attempts = self._attempts.get(key, 0)
+            if attempts < self.max_retries and self.resubmit is not None:
+                if len(self._attempts) >= self._MAX_TRACKED:
+                    self._attempts.pop(next(iter(self._attempts)))
+                self._attempts[key] = attempts + 1
+                retry = True
+            else:
+                self._attempts.pop(key, None)
+                retry = False
+        if retry:
+            self.retries += 1
+            self.resubmit(event)
+            return
+        self.quarantined.append((event, exc))
+        self.counter.inc()
+        self.log.error(
+            f"event {key} quarantined after "
+            f"{self.max_retries} retries: {exc!r}")

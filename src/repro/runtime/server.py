@@ -42,6 +42,12 @@ from repro.runtime.idle import IdleConnectionReaper
 from repro.runtime.overload import OverloadController, Watermark
 from repro.runtime.processor import EventProcessor, ProcessorController
 from repro.runtime.profiling import NULL_PROFILER, Profiler
+from repro.runtime.resilience import (
+    DeadlineMonitor,
+    DeadlinePolicy,
+    EventQuarantine,
+    WorkerSupervisor,
+)
 from repro.runtime.scheduler import FifoEventQueue, QuotaPriorityQueue
 from repro.runtime.tracing import NULL_LOG, NULL_TRACER, EventTracer, ServerLog
 
@@ -71,6 +77,14 @@ class RuntimeConfig:
     profiling: bool = False                     # O11
     logging: bool = False                       # O12
     sample_interval: float = 1.0                # O11 gauge-sampler period
+    fault_tolerance: bool = False               # O13
+    header_timeout: float = 5.0
+    request_timeout: float = 30.0
+    write_timeout: float = 30.0
+    drain_timeout: float = 5.0
+    max_event_retries: int = 2
+    deadline_interval: float = 0.1
+    supervision_interval: float = 0.05
     processor_threads: int = 2
     file_io_threads: int = 2
     document_root: Optional[str] = None
@@ -88,10 +102,14 @@ class ReactorServer:
     """
 
     def __init__(self, hooks: ServerHooks, config: RuntimeConfig,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 handle_cls: Optional[type] = None):
         self.hooks = hooks
         self.config = config
         self.host = host
+        #: SocketHandle subclass wrapping accepted sockets (the fault
+        #: plane injects its faulty handles here)
+        self.handle_cls = handle_cls
         self._requested_port = port
         self._started = False
         self._lock = threading.Lock()
@@ -221,6 +239,42 @@ class ReactorServer:
                     help="File cache hit rate (0..1)")
             self.sampler = sampler
 
+        # O13: resilience runtime — per-stage deadlines, worker
+        # supervision, poison-event quarantine.  Counters land in the
+        # shared registry so they surface through the obs exposition.
+        self.deadlines: Optional[DeadlineMonitor] = None
+        self.supervisor: Optional[WorkerSupervisor] = None
+        self.quarantine: Optional[EventQuarantine] = None
+        if config.fault_tolerance:
+            self.deadlines = DeadlineMonitor(
+                self.container.connections,
+                DeadlinePolicy(header=config.header_timeout,
+                               request=config.request_timeout,
+                               write=config.write_timeout),
+                interval=config.deadline_interval,
+                counter=self.registry.counter(
+                    "server_deadline_timeouts_total",
+                    "Connections closed for blowing a stage deadline"),
+                log=self.log,
+            )
+            if self.processor is not None:
+                self.supervisor = WorkerSupervisor(
+                    self.processor,
+                    interval=config.supervision_interval,
+                    counter=self.registry.counter(
+                        "server_worker_restarts_total",
+                        "Dead Event Processor workers replaced"),
+                    log=self.log,
+                )
+                self.quarantine = EventQuarantine.attach(
+                    self.processor,
+                    max_retries=config.max_event_retries,
+                    counter=self.registry.counter(
+                        "server_quarantined_events_total",
+                        "Poison events quarantined after retries"),
+                    log=self.log,
+                )
+
         self.listen: Optional[ListenHandle] = None
         self.acceptor: Optional[Acceptor] = None
         self.dispatcher = EventDispatcher(
@@ -307,7 +361,8 @@ class ReactorServer:
             if self._started:
                 return
             self._started = True
-        self.listen = ListenHandle(self.host, self._requested_port)
+        self.listen = ListenHandle(self.host, self._requested_port,
+                                   handle_cls=self.handle_cls)
         self.acceptor = Acceptor(
             self.listen,
             self.socket_source,
@@ -328,6 +383,10 @@ class ReactorServer:
             self.file_io.start()
         if self.reaper is not None:
             self.reaper.start()
+        if self.deadlines is not None:
+            self.deadlines.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
         if self.sampler is not None:
             self.sampler.start()
         self.dispatcher.start()
@@ -344,6 +403,10 @@ class ReactorServer:
         self.container.close_all()
         if self.controller is not None:
             self.controller.stop()
+        if self.supervisor is not None:
+            self.supervisor.stop()  # before the pool: no respawn race
+        if self.deadlines is not None:
+            self.deadlines.stop()
         if self.processor is not None:
             self.processor.stop()
         if self.file_io is not None:
@@ -356,6 +419,47 @@ class ReactorServer:
         self.source.close()
         self.tracer.close()
         self.log.info("server stopped")
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop accepting, let already-accepted work
+        finish up to the deadline, then :meth:`stop` (which force-closes
+        whatever remains and flushes tracer/obs state).
+
+        Returns True when the server went fully quiescent before the
+        deadline — no queued events, no busy workers, no connection with
+        an in-flight request or unflushed reply.
+        """
+        timeout = timeout if timeout is not None else self.config.drain_timeout
+        with self._lock:
+            started = self._started
+        if not started:
+            return True
+        self.log.info("draining: accept closed, waiting for in-flight work")
+        if self.acceptor is not None:
+            self.acceptor.close()
+        deadline = time.monotonic() + timeout
+        settled_since = None
+        drained = False
+        while time.monotonic() < deadline:
+            if self._quiescent():
+                # Hold quiescence briefly: a request read off the socket
+                # but not yet queued would look done for an instant.
+                if settled_since is None:
+                    settled_since = time.monotonic()
+                elif time.monotonic() - settled_since >= 0.05:
+                    drained = True
+                    break
+            else:
+                settled_since = None
+            time.sleep(0.005)
+        self.stop()
+        return drained
+
+    def _quiescent(self) -> bool:
+        if self.processor is not None and (
+                self.processor.queue_length or self.processor.busy_count):
+            return False
+        return all(not conn.busy() for conn in self.container.connections())
 
     def __enter__(self) -> "ReactorServer":
         self.start()

@@ -18,6 +18,7 @@ from repro.co2p3s.nserver import (
     COPS_HTTP_OPTIONS,
     COPS_HTTP_OBSERVABILITY_OPTIONS,
     COPS_HTTP_OVERLOAD_OPTIONS,
+    COPS_HTTP_RESILIENCE_OPTIONS,
     COPS_HTTP_SCHEDULING_OPTIONS,
     EXPECTED_TABLE2,
     NSERVER,
@@ -32,14 +33,16 @@ from repro.co2p3s.nserver import (
 # -- Table 1: the option model -------------------------------------------------
 
 
-def test_twelve_options():
+def test_thirteen_options():
+    # The paper's twelve plus the O13 fault-tolerance extension.
     specs = NSERVER.option_specs()
-    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 13)]
+    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 14)]
 
 
 def test_paper_configurations_are_legal():
     for config in (COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS,
                    COPS_HTTP_SCHEDULING_OPTIONS, COPS_HTTP_OVERLOAD_OPTIONS,
+                   COPS_HTTP_RESILIENCE_OPTIONS,
                    ALL_FEATURES_ON, POOL_TOGGLE_BASE):
         opts = NSERVER.configure(config)
         NSERVER.validate(opts)
@@ -63,7 +66,7 @@ def test_cops_http_column_matches_table1():
 
 def test_option_table_rows_shape():
     rows = option_table_rows(COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS)
-    assert len(rows) == 12
+    assert len(rows) == 13
     assert all(len(r) == 4 for r in rows)
     o6 = next(r for r in rows if r[0].startswith("O6"))
     assert o6[2] == "No" and o6[3] == "Yes: LRU"
@@ -99,10 +102,11 @@ def test_all_files_parse_for_paper_configs():
             ast.parse(text)
 
 
-def test_full_config_generates_all_28_classes():
+def test_full_config_generates_all_29_classes():
     report = render(ALL_FEATURES_ON)
     assert set(report.class_names()) == set(TABLE2_CLASS_ORDER)
-    assert len(TABLE2_CLASS_ORDER) == 28  # paper's 27 + Observability
+    # paper's 27 + Observability (O11) + Resilience (O13)
+    assert len(TABLE2_CLASS_ORDER) == 29
 
 
 def test_optional_classes_absent_when_options_off():
@@ -144,6 +148,14 @@ def test_no_dynamic_feature_checks_in_generated_code():
         assert "obs-sample" not in text, filename
         assert "registry" not in text, filename
         assert "sampler" not in text, filename
+        # O13=No: zero fault-tolerance code anywhere.
+        assert "resilience" not in text.lower(), filename
+        assert "deadline" not in text, filename
+        assert "quarantine" not in text, filename
+        assert "supervisor" not in text, filename
+        assert "safe_accept" not in text, filename
+        assert "def drain" not in text, filename
+        assert "drain_timeout" not in text, filename
 
 
 def test_observability_code_present_when_o11_on():
@@ -174,11 +186,49 @@ def test_observability_debug_build_mirrors_spans_into_tracer():
     assert "tracer=reactor.tracer" in report.files["observability.py"]
 
 
+def test_resilience_code_present_when_o13_on():
+    report = render(COPS_HTTP_RESILIENCE_OPTIONS)
+    assert "resilience.py" in report.files
+    res_text = report.files["resilience.py"]
+    assert "DeadlineMonitor" in res_text
+    assert "WorkerSupervisor" in res_text       # O2=Yes
+    assert "EventQuarantine" in res_text
+    assert "def safe_accept" in res_text
+    # O11=Yes: resilience counters live on the shared obs registry and
+    # therefore surface on /server-status automatically.
+    assert "server_deadline_timeouts_total" in res_text
+    assert "server_worker_restarts_total" in res_text
+    assert "server_quarantined_events_total" in res_text
+    reactor_text = report.files["reactor.py"]
+    assert "self.resilience = Resilience(self)" in reactor_text
+    assert "def drain(self" in reactor_text
+    comm_text = report.files["communication.py"]
+    assert "self.reactor.resilience.safe_accept(listen)" in comm_text
+    assert "drain_timeout" in comm_text
+    assert "def drain(self" in report.files["server.py"]
+
+
+def test_resilience_without_pool_omits_supervision():
+    """O13 with O2=No: deadlines and the hardened accept loop only —
+    there is no Event Processor pool to supervise or quarantine for."""
+    report = render(dict(COPS_HTTP_RESILIENCE_OPTIONS, O2=False))
+    res_text = report.files["resilience.py"]
+    assert "DeadlineMonitor" in res_text
+    assert "WorkerSupervisor" not in res_text
+    assert "EventQuarantine" not in res_text
+
+
 def test_table2_extension_rows_merge():
     assert "Observability" not in PAPER_TABLE2  # paper stays verbatim
+    assert "Resilience" not in PAPER_TABLE2
     assert EXPECTED_TABLE2["Observability"]["O11"] == "O"
     assert EXPECTED_TABLE2["ServerComponent"]["O11"] == "+"
     assert EXPECTED_TABLE2["ServerConfiguration"]["O11"] == "+"
+    assert EXPECTED_TABLE2["Resilience"]["O13"] == "O"
+    assert EXPECTED_TABLE2["Reactor"]["O13"] == "+"
+    assert EXPECTED_TABLE2["AcceptorEventHandler"]["O13"] == "+"
+    assert EXPECTED_TABLE2["Server"]["O13"] == "+"
+    assert EXPECTED_TABLE2["ServerConfiguration"]["O13"] == "+"
     # Extensions only add cells, never overwrite a paper cell.
     for name, row in TABLE2_EXTENSIONS.items():
         for key in row:
@@ -235,10 +285,10 @@ def test_generated_size_same_order_as_paper():
 
 def _matrix_from(table):
     m = CrosscutMatrix(class_names=TABLE2_CLASS_ORDER,
-                       option_keys=[f"O{i}" for i in range(1, 13)])
+                       option_keys=[f"O{i}" for i in range(1, 14)])
     for name in TABLE2_CLASS_ORDER:
         m.cells[name] = {f"O{i}": table.get(name, {}).get(f"O{i}", "")
-                         for i in range(1, 13)}
+                         for i in range(1, 14)}
     return m
 
 

@@ -1,0 +1,163 @@
+"""Acceptance: COPS-HTTP generated with O11+O13 survives a seeded fault
+schedule combining slow-peer trickle, mid-stream resets and injected
+handler exceptions — while still serving healthy connections — with the
+resilience counters visible on ``/server-status?auto`` and a graceful
+drain through the generated facade."""
+
+import socket
+import time
+
+import pytest
+
+from repro.co2p3s.nserver import COPS_HTTP_RESILIENCE_OPTIONS
+from repro.faults import FaultPlane, FaultSpec, abrupt_reset, trickle_send
+from repro.servers.cops_http import CopsHttpHooks, build_cops_http
+
+pytestmark = [pytest.mark.faults, pytest.mark.timeout(120)]
+
+SEED = 11
+
+
+def get(port, path, timeout=5.0) -> bytes:
+    """One-shot HTTP GET; returns the raw response (b'' if the server
+    dropped the connection — e.g. an injected handler fault)."""
+    try:
+        s = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+    except OSError:
+        return b""
+    s.settimeout(timeout)
+    data = b""
+    try:
+        s.sendall(f"GET {path} HTTP/1.1\r\nHost: t\r\n"
+                  "Connection: close\r\n\r\n".encode())
+        while True:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    except OSError:
+        pass
+    finally:
+        s.close()
+    return data
+
+
+def get_until_ok(port, path, attempts=8):
+    """Retry around injected handler faults (deterministic per seed)."""
+    for _ in range(attempts):
+        response = get(port, path)
+        if response.startswith(b"HTTP/1.1 200"):
+            return response
+    raise AssertionError(f"no 200 for {path} in {attempts} attempts")
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+@pytest.fixture
+def faulted_server(tmp_path):
+    docroot = tmp_path / "docroot"
+    docroot.mkdir()
+    (docroot / "index.html").write_text("<html>hello fault plane</html>")
+
+    plane = FaultPlane(FaultSpec(handler_error=0.35), seed=SEED)
+    server, fw, _report = build_cops_http(
+        str(docroot),
+        options=COPS_HTTP_RESILIENCE_OPTIONS,
+        hooks=plane.wrap_hooks(CopsHttpHooks()),
+        dest=str(tmp_path),
+        package="cops_http_faults_fw",
+        header_timeout=0.4,
+        deadline_interval=0.02,
+        drain_timeout=5.0,
+    )
+    plane.install(server)
+    server.start()
+    stopped = []
+    try:
+        yield server, fw, plane, stopped
+    finally:
+        if not stopped:
+            server.stop()
+
+
+def test_cops_http_serves_through_seeded_fault_storm(faulted_server):
+    server, fw, plane, stopped = faulted_server
+    port = server.port
+    resilience = server.reactor.resilience
+
+    # -- phase 1: normal traffic with injected handler exceptions --------
+    outcomes = [get(port, "/index.html") for _ in range(8)]
+    oks = [r for r in outcomes if r.startswith(b"HTTP/1.1 200")]
+    drops = [r for r in outcomes if not r]
+    assert oks, "every request failed — the server is not serving"
+    assert b"hello fault plane" in oks[0]
+    assert drops, f"seed {SEED} injected no handler fault in 8 requests"
+    assert plane.counts().get("error", 0) >= 1
+
+    # -- phase 2: slow-loris trickle hits the header deadline -------------
+    loris = socket.create_connection(("127.0.0.1", port), timeout=5)
+    trickle_send(loris, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n",
+                 chunk=1, delay=0.05,
+                 deadline=time.monotonic() + 5.0)
+    loris.close()
+    assert wait_for(lambda: resilience.deadlines.timed_out >= 1), \
+        "deadline monitor never closed the trickling peer"
+    assert resilience.deadlines.reasons["header"] >= 1
+
+    # -- phase 3: mid-stream RST must not wedge anything -------------------
+    rst = socket.create_connection(("127.0.0.1", port), timeout=5)
+    rst.sendall(b"GET /index")          # incomplete request...
+    abrupt_reset(rst)                   # ...then a genuine ECONNRESET
+
+    # -- phase 4: the server still serves healthy connections --------------
+    assert b"hello fault plane" in get_until_ok(port, "/index.html")
+
+    # -- phase 5: resilience counters on /server-status?auto ----------------
+    status = get_until_ok(port, "/server-status?auto")
+    body = status.split(b"\r\n\r\n", 1)[1].decode()
+    fields = dict(line.split(": ", 1) for line in body.splitlines()
+                  if ": " in line)
+    assert float(fields["server_deadline_timeouts_total"]) >= 1
+    # Registered at construction, so present even while still zero.
+    assert "server_worker_restarts_total" in fields
+    assert "server_quarantined_events_total" in fields
+
+    # -- phase 6: graceful drain through the generated facade ---------------
+    assert fw.Server.drain is not None
+    assert server.drain() is True
+    stopped.append(True)
+
+
+def test_fault_log_is_replayable(tmp_path):
+    """Two runs with the same seed inject the same handler-fault pattern
+    — the property that makes a failing fault run reproducible."""
+    patterns = []
+    for run in range(2):
+        docroot = tmp_path / f"docroot{run}"
+        docroot.mkdir()
+        (docroot / "index.html").write_text("x")
+        plane = FaultPlane(FaultSpec(handler_error=0.35), seed=SEED)
+        server, _fw, _report = build_cops_http(
+            str(docroot),
+            options=COPS_HTTP_RESILIENCE_OPTIONS,
+            hooks=plane.wrap_hooks(CopsHttpHooks()),
+            dest=str(tmp_path / f"build{run}"),
+            package=f"cops_http_replay{run}_fw",
+        )
+        plane.install(server)
+        server.start()
+        try:
+            outcomes = [bool(get(server.port, "/index.html"))
+                        for _ in range(10)]
+        finally:
+            server.stop()
+        patterns.append((outcomes,
+                         [a.kind for a in plane.schedule.actions("handler")]))
+    assert patterns[0] == patterns[1]

@@ -24,7 +24,10 @@ from repro.experiments import (
 
 def test_table1_rows_and_formatting():
     rows = run_table1()
-    assert len(rows) == 12
+    # The paper's 12 options plus the O13 fault-tolerance extension.
+    assert len(rows) == 13
+    assert rows[12][0] == "O13: Fault tolerance"
+    assert rows[12][2:] == ["No", "No"]     # both paper apps: off
     text = format_table1(rows)
     assert "COPS-FTP" in text and "Yes: LRU" in text
 

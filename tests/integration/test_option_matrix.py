@@ -31,9 +31,11 @@ MATRIX = {
     "overload": dict(BASE, O9=True),
     "debug_everything": dict(BASE, O10="Debug", O11=True, O12=True),
     "cache_hyper_g": dict(BASE, O4="Asynchronous", O6="Hyper-G"),
+    "fault_tolerance": dict(BASE, O13=True),
+    "fault_tolerance_inline": dict(BASE, O2=False, O13=True),
     "kitchen_sink": dict(BASE, O1="2N", O4="Asynchronous", O5="Dynamic",
                          O6="LFU", O7=True, O8=True, O9=True,
-                         O10="Debug", O11=True, O12=True),
+                         O10="Debug", O11=True, O12=True, O13=True),
 }
 
 
