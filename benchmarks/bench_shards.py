@@ -1,0 +1,113 @@
+"""O14 bench: 1 vs 4 reactor shards under a Zipf (SpecWeb99) workload.
+
+Two measurements:
+
+* real sockets — the generated COPS-HTTP framework at O14=1 and O14=4
+  serving a materialised SpecWeb99 file set to concurrent clients whose
+  request paths follow the Zipf directory popularity (this is the
+  BENCH_shards.json artifact CI uploads);
+* simulation — the shard-count sweep behind the Fig 3 extension, under
+  a CPU-bound configuration where the per-shard readiness-scan saving
+  is visible.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.analysis import render_table
+from repro.servers.cops_http import build_cops_http
+from repro.workload import SpecWebFileSet
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 40
+
+
+def materialise_fileset(root, total_mb=2.0, seed=3):
+    """Write a small SpecWeb99 tree and return Zipf-ordered GET paths."""
+    fileset = SpecWebFileSet(total_mb, zipf_alpha=1.0, seed=seed)
+    for path, size in fileset.files():
+        target = root / path.lstrip("/")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(b"x" * size)
+    return [fileset.sample()[0]
+            for _ in range(CLIENTS * REQUESTS_PER_CLIENT)]
+
+
+def get(port, path):
+    s = socket.create_connection(("127.0.0.1", port), timeout=10)
+    s.settimeout(10)
+    try:
+        s.sendall(f"GET {path} HTTP/1.1\r\nHost: b\r\n"
+                  "Connection: close\r\n\r\n".encode())
+        data = b""
+        while True:
+            chunk = s.recv(65536)
+            if not chunk:
+                return data
+            data += chunk
+    finally:
+        s.close()
+
+
+def drive(port, paths):
+    """CLIENTS concurrent closed-loop clients, Zipf request streams."""
+    per_client = len(paths) // CLIENTS
+    failures = []
+
+    def client(i):
+        for path in paths[i * per_client:(i + 1) * per_client]:
+            if not get(port, path).startswith(b"HTTP/1.1 200"):
+                failures.append(path)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not failures, failures[:3]
+
+
+@pytest.mark.parametrize("shards", (1, 4))
+def test_cops_http_shard_throughput(benchmark, tmp_path, shards):
+    docroot = tmp_path / "docroot"
+    docroot.mkdir()
+    paths = materialise_fileset(docroot)
+    server, _fw, _report = build_cops_http(
+        str(docroot), dest=str(tmp_path / "build"),
+        package=f"bench_shards_{shards}_fw", shards=shards)
+    server.start()
+    try:
+        benchmark.pedantic(drive, args=(server.port, paths),
+                           rounds=3, iterations=1, warmup_rounds=1)
+    finally:
+        server.stop()
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["requests"] = len(paths)
+
+
+def test_shard_scaling_simulated(benchmark):
+    from repro.experiments import format_fig3_shards, run_shard_sweep
+
+    # SHARD_SWEEP_BASE is CPU-bound behind a wide pipe — the regime
+    # where splitting the readiness scan across shards pays.
+    results = benchmark.pedantic(
+        run_shard_sweep,
+        kwargs=dict(shard_counts=(1, 2, 4), clients=256,
+                    duration=20.0, warmup=5.0),
+        rounds=1, iterations=1)
+
+    assert results[4].throughput > results[1].throughput
+    for point in results.values():
+        assert point.fairness > 0.9
+
+    rows = [[str(s), f"{p.throughput:.1f}", f"{p.fairness:.3f}",
+             f"{p.cpu_utilization:.2f}"]
+            for s, p in sorted(results.items())]
+    print()
+    print(render_table(["shards", "thr/s", "fairness", "cpu"], rows,
+                       title="O14 — REACTOR SHARD SCALING (CPU-bound, "
+                             "256 clients)"))
+    print(format_fig3_shards(results))

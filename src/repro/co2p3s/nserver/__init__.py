@@ -13,6 +13,7 @@ from repro.co2p3s.nserver.options import (
     COPS_HTTP_OVERLOAD_OPTIONS,
     COPS_HTTP_RESILIENCE_OPTIONS,
     COPS_HTTP_SCHEDULING_OPTIONS,
+    COPS_HTTP_SHARDED_OPTIONS,
     NSERVER_OPTION_SPECS,
     POOL_TOGGLE_BASE,
     option_table_rows,
@@ -37,6 +38,7 @@ __all__ = [
     "COPS_HTTP_OVERLOAD_OPTIONS",
     "COPS_HTTP_RESILIENCE_OPTIONS",
     "COPS_HTTP_SCHEDULING_OPTIONS",
+    "COPS_HTTP_SHARDED_OPTIONS",
     "NSERVER",
     "NSERVER_MODULES",
     "NSERVER_OPTION_SPECS",

@@ -1,7 +1,8 @@
 """Substitution context for the N-Server template.
 
-Maps the options (the paper's twelve plus the O13 fault-tolerance
-extension) to the ``$parameter`` values the fragments use.
+Maps the options (the paper's twelve plus the O13 fault-tolerance and
+O14 reactor-shards extensions) to the ``$parameter`` values the
+fragments use.
 Option-disabled instrumentation lines expand to :data:`OMIT`, which the
 fragment renderer deletes — this is the crosscutting weave: a feature's
 call sites exist in the generated text only when its option is on.
@@ -30,6 +31,7 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     cache = o["O6"]
     dynamic = o["O5"] == "Dynamic"
     resilient = bool(o["O13"])
+    sharded = int(o["O14"]) > 1
 
     def on(flag: bool, line: str) -> str:
         return line if flag else OMIT
@@ -72,8 +74,12 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         'are generated")')
 
     # -- processing module ----------------------------------------------------
+    # With reactor shards (O14>1) the ACCEPT route goes through the
+    # Sharding component; the lambda defers the attribute lookup, since
+    # ``reactor.sharding`` is assigned after the Reactors are built.
     ctx["accept_target"] = (
-        "reactor.acceptor_event_handler.handle_guarded" if overload
+        "(lambda event: reactor.sharding.accept(event))" if sharded
+        else "reactor.acceptor_event_handler.handle_guarded" if overload
         else "reactor.acceptor_event_handler.handle")
     ctx["completion_route_pool"] = on(
         async_io, "self.route(EventKind.COMPLETION, reactor.submit_completion)")
@@ -258,9 +264,13 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     ctx["start_controller"] = on(pool and dynamic,
                                  "self.processor_controller.start()")
     ctx["start_file_io"] = on(async_io, "self.file_io.start()")
+    # Non-primary shards have no listening endpoint to report.
     ctx["log_started"] = on(
-        logging, 'self.log.info(f"server listening on port '
-                 '{self.server_component.port}")')
+        logging,
+        'self.log.info(f"reactor shard {self.shard_id} started")'
+        if sharded else
+        'self.log.info(f"server listening on port '
+        '{self.server_component.port}")')
     ctx["stop_controller"] = on(pool and dynamic,
                                 "self.processor_controller.stop()")
     ctx["stop_processor"] = on(pool, "self.processor.stop()")
@@ -315,5 +325,55 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         else "listen.try_accept()")
     ctx["log_drain"] = on(
         logging, 'self.log.info(f"draining (timeout={timeout}s)")')
+
+    # -- sharding module (O14) ----------------------------------------------------
+    ctx["shard_count"] = str(int(o["O14"]))
+    ctx["reactor_init_params"] = ", shard_id=0, listen=True" if sharded else ""
+    ctx["reactor_set_shard_id"] = on(sharded, "self.shard_id = shard_id")
+    ctx["reactor_server_component_args"] = ", listen=listen" if sharded else ""
+    ctx["reactor_start_params"] = ", open_listener=True" if sharded else ""
+    ctx["open_server_component"] = (
+        "if open_listener: self.server_component.open()" if sharded
+        else "self.server_component.open()")
+    ctx["server_component_init_params"] = ", listen=True" if sharded else ""
+    listen_expr = ("rt.ListenHandle(configuration.host, configuration.port, "
+                   "configuration.backlog, handle_cls=Handle)")
+    ctx["server_component_listen_expr"] = (
+        f"({listen_expr} if listen else None)" if sharded else listen_expr)
+    ctx["close_idempotent_guard"] = (
+        "if self.listen is None or self.listen.closed:" if sharded
+        else "if self.listen.closed:")
+    ctx["arm_idle_timer"] = ctx["server_open_idle_timer"]
+    ctx["arm_obs_timer"] = ctx["server_open_obs_timer"]
+    ctx["server_make_reactor"] = (
+        "self.sharding = Sharding(configuration, hooks)" if sharded
+        else "self.reactor = Reactor(configuration, hooks)")
+    ctx["server_bind_primary"] = on(
+        sharded, "self.reactor = self.sharding.primary")
+    ctx["server_start_call"] = ("self.sharding.start()" if sharded
+                                else "self.reactor.start()")
+    ctx["server_stop_call"] = ("self.sharding.stop()" if sharded
+                               else "self.reactor.stop()")
+    ctx["server_drain_call"] = (
+        "return self.sharding.drain(timeout)" if sharded
+        else "return self.reactor.drain(timeout)")
+    ctx["shard_accept_gate"] = on(
+        overload,
+        "if not any(s.overload.accepting() for s in self.shards): return")
+    ctx["shard_try_accept_expr"] = (
+        "self.primary.resilience.safe_accept(listen)" if resilient
+        else "listen.try_accept()")
+    ctx["shard_reroute_overloaded"] = on(
+        overload, "if not shard.overload.accepting(): shard = min("
+                  "(s for s in self.shards if s.overload.accepting()), "
+                  "key=lambda s: (len(s.container), s.shard_id))")
+    ctx["shard_overload_opened"] = on(
+        overload, "shard.overload.connection_opened()")
+    ctx["shard_log_accept"] = on(
+        logging, 'self.primary.log.info(f"accepted {handle.name} '
+                 '-> shard {shard.shard_id}")')
+    ctx["shard_log_drain"] = on(
+        logging, 'self.primary.log.info(f"draining {len(self.shards)} '
+                 'shards (timeout={timeout}s)")')
 
     return ctx

@@ -3,11 +3,12 @@
 Table 2 rows covered:
 
 ========  =========================================================
-Reactor   body depends on O1 O2 O4 O5 O6 O8 O9 O10 O11 O12 O13
+Reactor   body depends on O1 O2 O4 O5 O6 O8 O9 O10 O11 O12 O13 O14
           (NOT O3 — step handlers are installed by the handlers
           module's ``install_step_handlers``; NOT O7 — idle wiring
           lives in ServerComponent / ServerEventHandler / Container)
-Server    body depends on O3 and O13 (the ``drain`` facade method)
+Server    body depends on O3, O13 (the ``drain`` facade method) and
+          O14 (delegation to the Sharding component)
 ========  =========================================================
 """
 
@@ -36,6 +37,10 @@ def _async(o):
 
 def _sync(o):
     return o["O4"] == "Synchronous"
+
+
+def _sharded(o):
+    return int(o["O14"]) > 1
 
 
 MODULE_REACTOR = ModuleSpec(
@@ -76,9 +81,10 @@ MODULE_REACTOR = ModuleSpec(
                 # -- construction ------------------------------------------
                 Fragment(
                     '''
-                    def __init__(self, configuration, hooks):
+                    def __init__(self, configuration, hooks$reactor_init_params):
                         self.configuration = configuration
                         self.hooks = hooks
+                        $reactor_set_shard_id
                         self.clock = time.monotonic
                         $make_tracer
                         $make_log
@@ -100,7 +106,7 @@ MODULE_REACTOR = ModuleSpec(
                         self.application_event_handler = ApplicationEventHandler(self)
                         self.connector_event_handler = ConnectorEventHandler(self)
                         self.client_component = ClientComponent(self)
-                        self.server_component = ServerComponent(self, configuration)
+                        self.server_component = ServerComponent(self, configuration$reactor_server_component_args)
                         self.dispatcher = EventDispatcher(self, threads=$dispatcher_threads_expr)
                         $enable_dispatch_profiling
                         $enable_cache_profiling
@@ -111,7 +117,7 @@ MODULE_REACTOR = ModuleSpec(
                     # $make_resilience comes last so EventQuarantine.attach
                     # chains (not clobbers) the Debug-mode error_hook.
                     options=("O1", "O2", "O4", "O5", "O6", "O8", "O9",
-                             "O10", "O11", "O12", "O13"),
+                             "O10", "O11", "O12", "O13", "O14"),
                 ),
                 # -- connection plumbing -------------------------------------
                 Fragment(
@@ -239,8 +245,8 @@ MODULE_REACTOR = ModuleSpec(
                 # -- lifecycle ----------------------------------------------------
                 Fragment(
                     '''
-                    def start(self):
-                        self.server_component.open()
+                    def start(self$reactor_start_params):
+                        $open_server_component
                         $start_processor
                         $start_controller
                         $start_file_io
@@ -263,7 +269,8 @@ MODULE_REACTOR = ModuleSpec(
                     ''',
                     # Resilience stops before the processor so a dead
                     # worker is not respawned into a stopping pool.
-                    options=("O2", "O4", "O5", "O10", "O11", "O12", "O13"),
+                    options=("O2", "O4", "O5", "O10", "O11", "O12", "O13",
+                             "O14"),
                 ),
                 Fragment(
                     '''
@@ -307,7 +314,10 @@ MODULE_SERVER = ModuleSpec(
         "instantiates.",
     imports=[
         Fragment("from $package.communication import ServerConfiguration"),
-        Fragment("from $package.reactor import Reactor"),
+        Fragment("from $package.reactor import Reactor",
+                 guard=lambda o: not _sharded(o), options=("O14",)),
+        Fragment("from $package.sharding import Sharding",
+                 guard=_sharded, options=("O14",)),
     ],
     classes=[
         ClassSpec(
@@ -330,17 +340,18 @@ MODULE_SERVER = ModuleSpec(
                             configuration = ServerConfiguration(host=host, port=port)
                         self.configuration = configuration
                         self.hooks = hooks
-                        self.reactor = Reactor(configuration, hooks)
+                        $server_make_reactor
+                        $server_bind_primary
 
                     @property
                     def port(self):
                         return self.reactor.server_component.port
 
                     def start(self):
-                        self.reactor.start()
+                        $server_start_call
 
                     def stop(self):
-                        self.reactor.stop()
+                        $server_stop_call
 
                     def connect(self, client_configuration):
                         """Open an outbound connection through the framework."""
@@ -352,15 +363,16 @@ MODULE_SERVER = ModuleSpec(
 
                     def __exit__(self, *exc_info):
                         self.stop()
-                    '''
+                    ''',
+                    options=("O14",),
                 ),
                 Fragment(
                     '''
                     def drain(self, timeout=None):
                         """Gracefully drain in-flight work, then stop."""
-                        return self.reactor.drain(timeout)
+                        $server_drain_call
                     ''',
-                    guard=_o("O13"), options=("O13",),
+                    guard=_o("O13"), options=("O13", "O14"),
                 ),
             ],
         ),

@@ -21,6 +21,7 @@ __all__ = [
     "COPS_HTTP_RESILIENCE_OPTIONS",
     "COPS_HTTP_SCHEDULING_OPTIONS",
     "COPS_HTTP_OVERLOAD_OPTIONS",
+    "COPS_HTTP_SHARDED_OPTIONS",
     "ALL_FEATURES_ON",
     "option_table_rows",
 ]
@@ -73,6 +74,13 @@ NSERVER_OPTION_SPECS = (
     OptionSpec(key="O13", name="Fault tolerance",
                describe_values="Yes/No", default=False,
                values=(True, False)),
+    # Second structural extension: multi-reactor sharding — N reactors
+    # (each with its own event sources, processors and scheduler queue)
+    # behind the primary reactor's single listening endpoint.  O14=1 is
+    # the paper's single-reactor shape and emits zero sharding code.
+    OptionSpec(key="O14", name="Reactor shards",
+               describe_values="1, 2, 4 or 8", default=1,
+               values=(1, 2, 4, 8)),
 )
 
 #: Table 1, COPS-FTP column.
@@ -90,6 +98,7 @@ COPS_FTP_OPTIONS: Dict[str, object] = {
     "O11": False,
     "O12": False,
     "O13": False,
+    "O14": 1,
 }
 
 #: Table 1, COPS-HTTP column (first experiment: Figs 3/4).
@@ -107,6 +116,7 @@ COPS_HTTP_OPTIONS: Dict[str, object] = {
     "O11": False,
     "O12": False,
     "O13": False,
+    "O14": 1,
 }
 
 #: Second COPS-HTTP experiment (Fig 5): event scheduling on, cache off.
@@ -126,6 +136,10 @@ COPS_HTTP_OBSERVABILITY_OPTIONS = dict(COPS_HTTP_OPTIONS, O11=True)
 COPS_HTTP_RESILIENCE_OPTIONS = dict(
     COPS_HTTP_OBSERVABILITY_OPTIONS, O13=True)
 
+#: COPS-HTTP sharded across four reactors (O11+O13+O14): the Fig 3
+#: shard-count sweep shape — observable, resilient, multi-reactor.
+COPS_HTTP_SHARDED_OPTIONS = dict(COPS_HTTP_RESILIENCE_OPTIONS, O14=4)
+
 #: Everything enabled — the base point for the Table 2 crosscut analysis
 #: (all optional classes exist, so existence toggles are observable).
 ALL_FEATURES_ON: Dict[str, object] = {
@@ -142,13 +156,16 @@ ALL_FEATURES_ON: Dict[str, object] = {
     "O11": True,
     "O12": True,
     "O13": True,
+    "O14": 2,
 }
 
 #: Secondary crosscut base: with scheduling / overload / dynamic threads
 #: off, O2 (the thread pool itself) becomes legal to toggle — needed to
-#: observe the O2 column of Table 2 empirically.
+#: observe the O2 column of Table 2 empirically.  O14=1 here so the
+#: single-reactor accept path is observable too (at O14>1 the ACCEPT
+#: route goes through the Sharding component for every O9 value).
 POOL_TOGGLE_BASE: Dict[str, object] = dict(
-    ALL_FEATURES_ON, O5="Static", O8=False, O9=False)
+    ALL_FEATURES_ON, O5="Static", O8=False, O9=False, O14=1)
 
 
 def _show(value) -> str:

@@ -48,6 +48,7 @@ TABLE2_CLASS_ORDER = [
     "Server",
     "Observability",
     "Resilience",
+    "Sharding",
 ]
 
 PAPER_TABLE2 = {
@@ -95,16 +96,27 @@ PAPER_TABLE2 = {
 #: body depends on the pool it supervises, the counters it registers
 #: and the log it writes) and '+' cells where the option weaves in:
 #: the accept loop, the configuration's tuning block, the Reactor's
-#: construction/lifecycle/drain and the Server's drain facade.
+#: construction/lifecycle/drain and the Server's drain facade.  The
+#: O14 reactor-shards extension adds the Sharding row (exists iff
+#: O14>1; body depends on overload-aware placement, the aggregated
+#: status fields, accept/drain logging and the hardened accept /
+#: cross-shard drain barrier) and '+' cells wherever the sharded
+#: shape rewires the generated code: the Reactor's shard identity
+#: and guarded listener, the dispatcher's ACCEPT route, the Server
+#: Component's optional listen handle and timer arming, the Server
+#: facade's delegation and the configuration's placement policy.
 TABLE2_EXTENSIONS = {
     "Observability": {"O2": "+", "O6": "+", "O9": "+", "O10": "+",
-                      "O11": "O"},
-    "ServerComponent": {"O11": "+"},
-    "ServerConfiguration": {"O11": "+", "O13": "+"},
+                      "O11": "O", "O14": "+"},
+    "ServerComponent": {"O11": "+", "O14": "+"},
+    "ServerConfiguration": {"O11": "+", "O13": "+", "O14": "+"},
     "Resilience": {"O2": "+", "O11": "+", "O12": "+", "O13": "O"},
-    "Reactor": {"O13": "+"},
+    "Reactor": {"O13": "+", "O14": "+"},
     "AcceptorEventHandler": {"O13": "+"},
-    "Server": {"O13": "+"},
+    "Server": {"O13": "+", "O14": "+"},
+    "EventDispatcher": {"O14": "+"},
+    "Sharding": {"O9": "+", "O11": "+", "O12": "+", "O13": "+",
+                 "O14": "O"},
 }
 
 

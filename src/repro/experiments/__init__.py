@@ -13,8 +13,11 @@ from repro.experiments.table4 import format_table4, run_table4
 from repro.experiments.fig3_fig4 import (
     CapacityPoint,
     format_fig3,
+    format_fig3_shards,
     format_fig4,
     run_capacity_sweep,
+    SHARD_SWEEP_BASE,
+    run_shard_sweep,
 )
 from repro.experiments.fig5 import format_fig5, run_fig5
 from repro.experiments.fig6 import format_fig6, run_fig6
@@ -22,6 +25,7 @@ from repro.experiments.fig6 import format_fig6, run_fig6
 __all__ = [
     "CapacityPoint",
     "format_fig3",
+    "format_fig3_shards",
     "format_fig4",
     "format_fig5",
     "format_fig6",
@@ -31,6 +35,8 @@ __all__ = [
     "format_table4",
     "run_capacity_sweep",
     "run_fig5",
+    "SHARD_SWEEP_BASE",
+    "run_shard_sweep",
     "run_fig6",
     "run_table1",
     "run_table2",

@@ -16,6 +16,7 @@ import time
 
 from repro.experiments import (
     format_fig3,
+    format_fig3_shards,
     format_fig4,
     format_fig5,
     format_fig6,
@@ -26,6 +27,7 @@ from repro.experiments import (
     run_capacity_sweep,
     run_fig5,
     run_fig6,
+    run_shard_sweep,
     run_table1,
     run_table2,
     run_table3,
@@ -33,7 +35,7 @@ from repro.experiments import (
 )
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4",
-               "fig3", "fig4", "fig5", "fig6")
+               "fig3", "fig4", "fig5", "fig6", "fig3-shards")
 
 
 def run_one(name: str, quick: bool, cache: dict) -> str:
@@ -55,6 +57,13 @@ def run_one(name: str, quick: bool, cache: dict) -> str:
                 warmup=5.0 if quick else 10.0)
         sweep = cache["sweep"]
         return format_fig3(sweep) if name == "fig3" else format_fig4(sweep)
+    if name == "fig3-shards":
+        results = run_shard_sweep(
+            shard_counts=(1, 2, 4) if quick else (1, 2, 4, 8),
+            clients=256,
+            duration=10.0 if quick else 40.0,
+            warmup=3.0 if quick else 10.0)
+        return format_fig3_shards(results)
     if name == "fig5":
         points, portal_only = run_fig5(
             ratios=((1, 1), (1, 4)) if quick else ((1, 1), (1, 2), (1, 4), (1, 10)),

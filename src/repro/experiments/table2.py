@@ -45,9 +45,9 @@ def paper_matrix() -> CrosscutMatrix:
 
 
 def expected_matrix() -> CrosscutMatrix:
-    """Paper Table 2 plus this reproduction's observability (O11) and
-    resilience (O13) extensions."""
-    return _matrix_from(EXPECTED_TABLE2, 13)
+    """Paper Table 2 plus this reproduction's observability (O11),
+    resilience (O13) and reactor-shards (O14) extensions."""
+    return _matrix_from(EXPECTED_TABLE2, 14)
 
 
 @dataclass

@@ -25,6 +25,7 @@ from repro.obs.exposition import (
     render_prometheus,
     render_status_auto,
     render_status_html,
+    sharded_status_fields,
     status_fields,
 )
 from repro.obs.registry import (
@@ -70,5 +71,6 @@ __all__ = [
     "render_prometheus",
     "render_status_auto",
     "render_status_html",
+    "sharded_status_fields",
     "status_fields",
 ]

@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 __all__ = [
     "render_prometheus",
     "status_fields",
+    "sharded_status_fields",
     "render_status_auto",
     "render_status_html",
 ]
@@ -134,6 +135,86 @@ def status_fields(registry, uptime: Optional[float] = None
             estimate = snap[q_label]
             shown = f"{estimate:.6f}" if estimate is not None else "NaN"
             fields.append((f"{key}-{q_label}", shown))
+    return fields
+
+
+#: derived field names that only make sense at the aggregate level
+_DERIVED_KEYS = frozenset(
+    {apache for _, apache in _APACHE_FIELDS}
+    | {"Uptime", "Total kBytes", "ReqPerSec", "BytesPerSec"})
+
+
+def _shard_key(key: str, index: int) -> str:
+    """Weave a ``shard="i"`` label into a status-field key."""
+    extra = f'shard="{index}"'
+    if "{" in key:
+        close = key.index("}")
+        return key[:close] + "," + extra + key[close:]
+    for suffix in ("-count", "-p50", "-p90", "-p99"):
+        if key.endswith(suffix):
+            return key[:-len(suffix)] + "{" + extra + "}" + suffix
+    return key + "{" + extra + "}"
+
+
+def sharded_status_fields(registries, uptime: Optional[float] = None
+                          ) -> List[Tuple[str, str]]:
+    """One status report over N per-shard registries.
+
+    The aggregate section first — scalars summed across shards (rates
+    averaged), with the Apache-derived fields computed over the sums —
+    then a ``Shards`` count, then every shard's own scalar and
+    histogram fields re-labelled with ``shard="i"`` so a scraper can
+    see the per-shard queue depths and connection gauges behind the
+    totals.
+    """
+    sums: dict = {}
+    counts: dict = {}
+    order: List[Tuple[str, str, bool]] = []
+    for registry in registries:
+        for family in registry.collect():
+            for labels, metric in family.children():
+                if family.kind == "histogram":
+                    continue
+                key = family.name + _labels_text(labels)
+                if key not in sums:
+                    sums[key] = 0.0
+                    counts[key] = 0
+                    order.append((key, family.name, bool(labels)))
+                sums[key] += metric.value
+                counts[key] += 1
+
+    def aggregate(key: str, name: str) -> float:
+        # hit *rates* do not add up across shards; everything else does
+        if "rate" in name:
+            return sums[key] / max(counts[key], 1)
+        return sums[key]
+
+    by_name = {name: aggregate(key, name)
+               for key, name, labeled in order if not labeled}
+
+    fields: List[Tuple[str, str]] = []
+    if uptime is not None:
+        fields.append(("Uptime", f"{uptime:.3f}"))
+    for name, apache_key in _APACHE_FIELDS:
+        if name in by_name:
+            fields.append((apache_key, _fmt(by_name[name])))
+    bytes_sent = by_name.get("server_bytes_sent_total")
+    if bytes_sent is not None:
+        fields.append(("Total kBytes", _fmt(int(bytes_sent) // 1024)))
+    requests = by_name.get("server_requests_total")
+    if requests is not None and uptime:
+        fields.append(("ReqPerSec", f"{requests / uptime:.3f}"))
+        if bytes_sent is not None:
+            fields.append(("BytesPerSec", f"{bytes_sent / uptime:.1f}"))
+    for key, name, _labeled in order:
+        fields.append((key, _fmt(aggregate(key, name))))
+
+    fields.append(("Shards", str(len(registries))))
+    for index, registry in enumerate(registries):
+        for key, value in status_fields(registry):
+            if key in _DERIVED_KEYS:
+                continue
+            fields.append((_shard_key(key, index), value))
     return fields
 
 

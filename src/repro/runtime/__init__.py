@@ -51,6 +51,15 @@ from repro.runtime.resilience import (
 )
 from repro.runtime.scheduler import FifoEventQueue, QuotaPriorityQueue
 from repro.runtime.server import ReactorServer, RuntimeConfig
+from repro.runtime.sharding import (
+    ConnectionHashPolicy,
+    LeastConnectionsPolicy,
+    ReactorShard,
+    RoundRobinPolicy,
+    ShardedReactorServer,
+    ShardPolicy,
+    make_shard_policy,
+)
 from repro.runtime.tracing import (
     NULL_LOG,
     NULL_TRACER,
@@ -70,6 +79,7 @@ __all__ = [
     "Communicator",
     "CompletionEvent",
     "ConnectEvent",
+    "ConnectionHashPolicy",
     "Connector",
     "Container",
     "DeadlineMonitor",
@@ -88,6 +98,7 @@ __all__ = [
     "FileReadEvent",
     "Handle",
     "IdleConnectionReaper",
+    "LeastConnectionsPolicy",
     "ListenHandle",
     "NULL_LOG",
     "NULL_PROFILER",
@@ -103,11 +114,15 @@ __all__ = [
     "QueueEventSource",
     "QuotaPriorityQueue",
     "ReactorServer",
+    "ReactorShard",
     "ReadableEvent",
+    "RoundRobinPolicy",
     "RuntimeConfig",
     "ServerHooks",
     "ServerLog",
     "ServerProfile",
+    "ShardPolicy",
+    "ShardedReactorServer",
     "ShutdownEvent",
     "SocketEventSource",
     "SocketHandle",
@@ -119,4 +134,5 @@ __all__ = [
     "WorkerSupervisor",
     "WritableEvent",
     "is_transient_accept_error",
+    "make_shard_policy",
 ]

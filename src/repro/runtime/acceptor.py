@@ -43,6 +43,7 @@ class Acceptor:
         profiler=NULL_PROFILER,
         clock=time.monotonic,
         backoff: float = 0.05,
+        register_accepted: bool = True,
     ):
         self.listen = listen
         self.source = source
@@ -51,6 +52,10 @@ class Acceptor:
         self.profiler = profiler
         self.clock = clock
         self.backoff = backoff
+        #: when False the ``on_connection`` callback owns registration —
+        #: a sharded accept plane hands the handle to a shard's own
+        #: Event Source instead of the acceptor's.
+        self.register_accepted = register_accepted
         self.accepted = 0
         self.postponed = 0
         self.accept_errors = 0
@@ -90,7 +95,8 @@ class Acceptor:
             if self.overload is not None:
                 self.overload.connection_opened()
             self.on_connection(handle)
-            self.source.register(handle)
+            if self.register_accepted:
+                self.source.register(handle)
 
     def close(self) -> None:
         if self.listen.closed:  # drain() closes first; stop() closes again

@@ -361,6 +361,19 @@ class ReactorServer:
             if self._started:
                 return
             self._started = True
+        self._open_acceptor()
+        self.dispatcher.route(EventKind.READABLE, self._submit)
+        self.dispatcher.route(EventKind.WRITABLE, self._submit)
+        self.dispatcher.route(EventKind.COMPLETION, self._submit)
+        self._start_subsystems()
+        self.dispatcher.start()
+        if self.listen is not None:
+            self.log.info(f"server listening on {self.host}:{self.port}")
+
+    def _open_acceptor(self) -> None:
+        """Bind the listen socket and wire ACCEPT routing.  A shard in a
+        :class:`~repro.runtime.sharding.ShardedReactorServer` overrides
+        this to a no-op: the shared accept plane feeds it connections."""
         self.listen = ListenHandle(self.host, self._requested_port,
                                    handle_cls=self.handle_cls)
         self.acceptor = Acceptor(
@@ -371,10 +384,9 @@ class ReactorServer:
             profiler=self.profiler,
         )
         self.dispatcher.route(EventKind.ACCEPT, self.acceptor.handle)
-        self.dispatcher.route(EventKind.READABLE, self._submit)
-        self.dispatcher.route(EventKind.WRITABLE, self._submit)
-        self.dispatcher.route(EventKind.COMPLETION, self._submit)
         self.acceptor.open()
+
+    def _start_subsystems(self) -> None:
         if self.processor is not None:
             self.processor.start()
         if self.controller is not None:
@@ -389,8 +401,6 @@ class ReactorServer:
             self.supervisor.start()
         if self.sampler is not None:
             self.sampler.start()
-        self.dispatcher.start()
-        self.log.info(f"server listening on {self.host}:{self.port}")
 
     def stop(self) -> None:
         with self._lock:

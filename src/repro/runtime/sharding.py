@@ -1,0 +1,320 @@
+"""Multi-reactor sharding: one accept plane feeding N reactor shards.
+
+The paper's servers run a single reactor loop; the classic step past
+one core is N reactors behind one listening socket.  Here a dedicated
+accept plane (its own Event Source plus a single-threaded dispatcher)
+drains the kernel backlog through one :class:`Acceptor` and hands each
+accepted connection to one of N :class:`ReactorShard`\\ s — each a full
+:class:`~repro.runtime.server.ReactorServer` (own Event Source, Event
+Processor pool, scheduler queue, idle reaper, resilience runtime) that
+simply never listens.  Placement is a pluggable :class:`ShardPolicy`:
+round-robin, least-connections, or connection-hash affinity.
+
+The generated counterpart is the ``Sharding`` class emitted by the
+template's ``mod_sharding.py`` when option O14 ("Reactor shards") is
+greater than one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.obs.exposition import (
+    render_status_auto,
+    render_status_html,
+    sharded_status_fields,
+)
+from repro.runtime.acceptor import Acceptor
+from repro.runtime.communicator import Communicator, ServerHooks
+from repro.runtime.dispatcher import EventDispatcher
+from repro.runtime.event_source import SocketEventSource
+from repro.runtime.events import EventKind
+from repro.runtime.handles import ListenHandle, SocketHandle
+from repro.runtime.server import ReactorServer, RuntimeConfig
+
+__all__ = [
+    "ShardPolicy",
+    "RoundRobinPolicy",
+    "LeastConnectionsPolicy",
+    "ConnectionHashPolicy",
+    "make_shard_policy",
+    "ReactorShard",
+    "ShardedReactorServer",
+]
+
+
+class ShardPolicy:
+    """Chooses the shard index for each accepted connection."""
+
+    name = "policy"
+
+    def __init__(self, shard_count: int):
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        self.shard_count = shard_count
+
+    def pick(self, handle) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(ShardPolicy):
+    """Strict rotation — uniform placement regardless of lifetime."""
+
+    name = "round-robin"
+
+    def __init__(self, shard_count: int):
+        super().__init__(shard_count)
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def pick(self, handle) -> int:
+        with self._lock:
+            index = self._next
+            self._next = (index + 1) % self.shard_count
+        return index
+
+
+class LeastConnectionsPolicy(ShardPolicy):
+    """Place on the shard with the fewest open connections (ties go to
+    the lowest shard id).  ``loads`` holds one zero-argument probe per
+    shard returning its current connection count."""
+
+    name = "least-connections"
+
+    def __init__(self, shard_count: int,
+                 loads: Sequence[Callable[[], int]]):
+        super().__init__(shard_count)
+        if len(loads) != shard_count:
+            raise ValueError("one load probe per shard required")
+        self.loads = list(loads)
+
+    def pick(self, handle) -> int:
+        return min(range(self.shard_count),
+                   key=lambda i: (self.loads[i](), i))
+
+
+class ConnectionHashPolicy(ShardPolicy):
+    """Peer-address affinity: the same client host always lands on the
+    same shard (CRC32 of the peer address — stable across processes,
+    unlike ``hash`` under ``PYTHONHASHSEED``)."""
+
+    name = "connection-hash"
+
+    def pick(self, handle) -> int:
+        peer = getattr(handle, "name", "") or ""
+        host = peer.rsplit(":", 1)[0]
+        return zlib.crc32(host.encode("utf-8", "replace")) % self.shard_count
+
+
+def make_shard_policy(name: str, shard_count: int,
+                      loads: Optional[Sequence[Callable[[], int]]] = None
+                      ) -> ShardPolicy:
+    """Policy factory keyed by the names the CLI and the generated
+    ``ServerConfiguration.shard_policy`` knob use."""
+    if name in ("round-robin", "rr"):
+        return RoundRobinPolicy(shard_count)
+    if name in ("least-connections", "least"):
+        if loads is None:
+            raise ValueError("least-connections needs per-shard load probes")
+        return LeastConnectionsPolicy(shard_count, loads)
+    if name in ("connection-hash", "hash"):
+        return ConnectionHashPolicy(shard_count)
+    raise ValueError(f"unknown shard policy {name!r}")
+
+
+class ReactorShard(ReactorServer):
+    """A ReactorServer that never listens: connections are *adopted*
+    from the shared accept plane instead of accepted locally."""
+
+    def __init__(self, hooks: ServerHooks, config: RuntimeConfig,
+                 shard_id: int = 0, **kwargs):
+        super().__init__(hooks, config, **kwargs)
+        self.shard_id = shard_id
+        self.adopted = 0
+
+    def _open_acceptor(self) -> None:
+        """No listen socket: the accept plane feeds this shard."""
+
+    def adopt(self, handle: SocketHandle) -> Communicator:
+        """Take ownership of an accepted connection: build its
+        Communicator and watch the handle on this shard's own source."""
+        handle.last_activity = time.monotonic()
+        if self.overload is not None:
+            self.overload.connection_opened()
+        self.profiler.connection_accepted()
+        conn = self._make_communicator(handle)
+        self.socket_source.register(handle)
+        # registration happened off the shard's dispatcher thread — kick
+        # the poll loop so the handle is watched immediately
+        self.socket_source.wakeup()
+        self.adopted += 1
+        return conn
+
+
+class _ShardGate:
+    """Overload facade for the accept plane: keep accepting while any
+    shard will take the connection; per-shard controllers do their own
+    open/close accounting in :meth:`ReactorShard.adopt`."""
+
+    def __init__(self, shards: Sequence[ReactorShard]):
+        self._shards = shards
+
+    def accepting(self) -> bool:
+        return any(s.overload is None or s.overload.accepting()
+                   for s in self._shards)
+
+    def connection_opened(self) -> None:
+        pass
+
+
+class ShardedReactorServer:
+    """N reactor shards behind one Acceptor.
+
+    Mirrors the :class:`ReactorServer` surface (``start`` / ``stop`` /
+    ``drain`` / ``port`` / context manager) so anything driving one
+    shape drives the other.  Per-shard obs registries aggregate through
+    :func:`~repro.obs.exposition.sharded_status_fields`; O13 resilience
+    (deadlines, supervision, quarantine) runs independently inside each
+    shard, and :meth:`drain` is a barrier across all of them.
+    """
+
+    def __init__(self, hooks: ServerHooks, config: RuntimeConfig,
+                 shards: int = 2,
+                 policy: Union[str, ShardPolicy] = "round-robin",
+                 host: str = "127.0.0.1", port: int = 0,
+                 handle_cls: Optional[type] = None):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.hooks = hooks
+        self.config = config
+        self.host = host
+        self.handle_cls = handle_cls
+        self._requested_port = port
+        self.shards: List[ReactorShard] = [
+            ReactorShard(hooks, config, shard_id=i) for i in range(shards)]
+        for shard in self.shards:
+            shard.sharding = self
+        if isinstance(policy, ShardPolicy):
+            self.router = policy
+        else:
+            self.router = make_shard_policy(
+                policy, shards,
+                loads=[(lambda s=s: len(s.container)) for s in self.shards])
+        self.accepted_per_shard = [0] * shards
+        self.accept_source = SocketEventSource()
+        self.accept_dispatcher = EventDispatcher(self.accept_source, threads=1)
+        self.listen: Optional[ListenHandle] = None
+        self.acceptor: Optional[Acceptor] = None
+        self._gate = (_ShardGate(self.shards)
+                      if any(s.overload is not None for s in self.shards)
+                      else None)
+        self._started = False
+        self._start_time: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # -- accept plane -----------------------------------------------------
+    def _distribute(self, handle: SocketHandle) -> None:
+        shard = self.shards[self.router.pick(handle)]
+        if shard.overload is not None and not shard.overload.accepting():
+            # the policy's pick is overloaded — reroute to the least
+            # loaded shard still accepting (the gate guarantees one)
+            open_shards = [s for s in self.shards
+                           if s.overload is None or s.overload.accepting()]
+            if open_shards:
+                shard = min(open_shards,
+                            key=lambda s: (len(s.container), s.shard_id))
+        self.accepted_per_shard[shard.shard_id] += 1
+        shard.adopt(handle)
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self.listen is None:
+            raise RuntimeError("server not started")
+        return self.listen.port
+
+    def start(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+        for shard in self.shards:
+            shard.start()
+        self.listen = ListenHandle(self.host, self._requested_port,
+                                   handle_cls=self.handle_cls)
+        self.acceptor = Acceptor(
+            self.listen,
+            self.accept_source,
+            on_connection=self._distribute,
+            overload=self._gate,
+            register_accepted=False,
+        )
+        self.accept_dispatcher.route(EventKind.ACCEPT, self.acceptor.handle)
+        self.acceptor.open()
+        self.accept_dispatcher.start()
+        self._start_time = time.monotonic()
+
+    def stop(self) -> None:
+        with self._lock:
+            if not self._started:
+                return
+            self._started = False
+        self.accept_dispatcher.stop()
+        if self.acceptor is not None:
+            self.acceptor.close()
+        for shard in self.shards:
+            shard.stop()
+        self.accept_source.close()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Cross-shard drain barrier: stop accepting, then wait for
+        *every* shard to go quiescent before stopping them all."""
+        timeout = (timeout if timeout is not None
+                   else self.config.drain_timeout)
+        with self._lock:
+            started = self._started
+        if not started:
+            return True
+        if self.acceptor is not None:
+            self.acceptor.close()
+        deadline = time.monotonic() + timeout
+        settled_since = None
+        drained = False
+        while time.monotonic() < deadline:
+            if all(shard._quiescent() for shard in self.shards):
+                if settled_since is None:
+                    settled_since = time.monotonic()
+                elif time.monotonic() - settled_since >= 0.05:
+                    drained = True
+                    break
+            else:
+                settled_since = None
+            time.sleep(0.005)
+        self.stop()
+        return drained
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def open_connections(self) -> int:
+        return sum(len(shard.container) for shard in self.shards)
+
+    def status_fields(self):
+        uptime = (time.monotonic() - self._start_time
+                  if self._start_time is not None else None)
+        return sharded_status_fields(
+            [shard.registry for shard in self.shards], uptime=uptime)
+
+    def status_report(self, auto: bool = False) -> str:
+        fields = self.status_fields()
+        return render_status_auto(fields) if auto \
+            else render_status_html(fields)
+
+    def __enter__(self) -> "ShardedReactorServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

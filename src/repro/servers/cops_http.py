@@ -23,7 +23,7 @@ from repro.co2p3s.nserver import COPS_HTTP_OPTIONS, NSERVER
 from repro.co2p3s.template import load_generated_package
 from repro.runtime import AsynchronousCompletionToken, PENDING, ServerHooks
 
-__all__ = ["CopsHttpHooks", "build_cops_http"]
+__all__ = ["CopsHttpHooks", "build_cops_http", "main"]
 
 
 class CopsHttpHooks(ServerHooks):
@@ -169,13 +169,23 @@ def build_cops_http(
     package: str = "cops_http_fw",
     host: str = "127.0.0.1",
     port: int = 0,
+    shards: int = 1,
     **config_overrides,
 ):
     """Generate the COPS-HTTP framework and return a started-able Server.
 
+    ``shards`` > 1 regenerates the framework with option O14 (reactor
+    shards): N reactors behind the primary's listening endpoint, each
+    with its own event sources, Event Processor pool and scheduler
+    queue.  Pass ``shard_policy=...`` as a config override to pick the
+    connection-placement policy.
+
     Returns ``(server, framework_module, generation_report)``.
     """
-    opts = NSERVER.configure(options or COPS_HTTP_OPTIONS)
+    option_dict = dict(options or COPS_HTTP_OPTIONS)
+    if shards != 1:
+        option_dict["O14"] = shards
+    opts = NSERVER.configure(option_dict)
     dest = dest or tempfile.mkdtemp(prefix="cops_http_")
     report = NSERVER.generate(opts, dest, package=package)
     fw = load_generated_package(dest, package)
@@ -183,3 +193,55 @@ def build_cops_http(
         host=host, port=port, document_root=document_root, **config_overrides)
     server = fw.Server(hooks or CopsHttpHooks(), configuration=configuration)
     return server, fw, report
+
+
+def main(argv=None) -> int:
+    """``python -m repro.servers.cops_http --root DIR [--shards N]``."""
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="cops-http",
+        description="COPS-HTTP: the generated static-content web server.")
+    parser.add_argument("--root", required=True,
+                        help="document root to serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="listen port (0 = ephemeral)")
+    parser.add_argument("--shards", type=int, default=1,
+                        choices=(1, 2, 4, 8),
+                        help="reactor shards (template option O14)")
+    parser.add_argument("--policy", default="round-robin",
+                        choices=("round-robin", "least-connections",
+                                 "connection-hash"),
+                        help="shard placement policy (O14>1 builds only)")
+    parser.add_argument("--observability", action="store_true",
+                        help="generate with O11=Yes (/server-status)")
+    args = parser.parse_args(argv)
+
+    option_dict = dict(COPS_HTTP_OPTIONS)
+    if args.observability:
+        option_dict["O11"] = True
+    overrides = {}
+    if args.shards != 1:
+        overrides["shard_policy"] = args.policy
+    server, _fw, _report = build_cops_http(
+        args.root, options=option_dict, host=args.host, port=args.port,
+        shards=args.shards, **overrides)
+    server.start()
+    shape = (f"{args.shards} shards ({args.policy})"
+             if args.shards != 1 else "single reactor")
+    print(f"COPS-HTTP serving {args.root} on "
+          f"{args.host}:{server.port} — {shape}", flush=True)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

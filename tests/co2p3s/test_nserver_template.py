@@ -20,6 +20,7 @@ from repro.co2p3s.nserver import (
     COPS_HTTP_OVERLOAD_OPTIONS,
     COPS_HTTP_RESILIENCE_OPTIONS,
     COPS_HTTP_SCHEDULING_OPTIONS,
+    COPS_HTTP_SHARDED_OPTIONS,
     EXPECTED_TABLE2,
     NSERVER,
     PAPER_TABLE2,
@@ -33,16 +34,17 @@ from repro.co2p3s.nserver import (
 # -- Table 1: the option model -------------------------------------------------
 
 
-def test_thirteen_options():
-    # The paper's twelve plus the O13 fault-tolerance extension.
+def test_fourteen_options():
+    # The paper's twelve plus the O13 fault-tolerance and O14
+    # reactor-shards extensions.
     specs = NSERVER.option_specs()
-    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 14)]
+    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 15)]
 
 
 def test_paper_configurations_are_legal():
     for config in (COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS,
                    COPS_HTTP_SCHEDULING_OPTIONS, COPS_HTTP_OVERLOAD_OPTIONS,
-                   COPS_HTTP_RESILIENCE_OPTIONS,
+                   COPS_HTTP_RESILIENCE_OPTIONS, COPS_HTTP_SHARDED_OPTIONS,
                    ALL_FEATURES_ON, POOL_TOGGLE_BASE):
         opts = NSERVER.configure(config)
         NSERVER.validate(opts)
@@ -66,7 +68,7 @@ def test_cops_http_column_matches_table1():
 
 def test_option_table_rows_shape():
     rows = option_table_rows(COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS)
-    assert len(rows) == 13
+    assert len(rows) == 14
     assert all(len(r) == 4 for r in rows)
     o6 = next(r for r in rows if r[0].startswith("O6"))
     assert o6[2] == "No" and o6[3] == "Yes: LRU"
@@ -102,11 +104,11 @@ def test_all_files_parse_for_paper_configs():
             ast.parse(text)
 
 
-def test_full_config_generates_all_29_classes():
+def test_full_config_generates_all_30_classes():
     report = render(ALL_FEATURES_ON)
     assert set(report.class_names()) == set(TABLE2_CLASS_ORDER)
-    # paper's 27 + Observability (O11) + Resilience (O13)
-    assert len(TABLE2_CLASS_ORDER) == 29
+    # paper's 27 + Observability (O11) + Resilience (O13) + Sharding (O14)
+    assert len(TABLE2_CLASS_ORDER) == 30
 
 
 def test_optional_classes_absent_when_options_off():
@@ -156,6 +158,9 @@ def test_no_dynamic_feature_checks_in_generated_code():
         assert "safe_accept" not in text, filename
         assert "def drain" not in text, filename
         assert "drain_timeout" not in text, filename
+        # O14=1: zero sharding code anywhere.
+        assert "shard" not in text.lower(), filename
+    assert "sharding.py" not in report.files
 
 
 def test_observability_code_present_when_o11_on():
@@ -218,6 +223,59 @@ def test_resilience_without_pool_omits_supervision():
     assert "EventQuarantine" not in res_text
 
 
+def test_sharding_code_present_when_o14_gt1():
+    report = render(COPS_HTTP_SHARDED_OPTIONS)
+    assert "sharding.py" in report.files
+    sh = report.files["sharding.py"]
+    assert "class Sharding" in sh
+    assert "for index in range(4)" in sh          # O14=4 baked in
+    assert "rt.make_shard_policy" in sh
+    assert "configuration.shard_policy" in sh
+    # O13=Yes: hardened accept and the cross-shard drain barrier.
+    assert "self.primary.resilience.safe_accept(listen)" in sh
+    assert "def drain(self" in sh
+    # O11=Yes: aggregated per-shard status fields.
+    assert "obs.sharded_status_fields" in sh
+    # O9=No: no overload gating woven into the accept loop.
+    assert "overload" not in sh
+    server = report.files["server.py"]
+    assert "self.sharding = Sharding(configuration, hooks)" in server
+    assert "self.reactor = self.sharding.primary" in server
+    assert "return self.sharding.drain(timeout)" in server
+    proc = report.files["processing.py"]
+    assert "reactor.sharding.accept(event)" in proc
+    comm = report.files["communication.py"]
+    assert "def arm_timers(self)" in comm
+    assert 'shard_policy = "round-robin"' in comm
+    obs_text = report.files["observability.py"]
+    assert "self.reactor.sharding.status_fields()" in obs_text
+
+
+def test_sharding_composes_without_obs_and_resilience():
+    """O14>1 with O11=No and O13=No: the sharded accept plane is
+    generated with zero observability or fault-tolerance leakage."""
+    report = render(dict(COPS_HTTP_OPTIONS, O14=2))
+    sh = report.files["sharding.py"]
+    assert "for index in range(2)" in sh
+    assert "listen.try_accept()" in sh            # O13=No: bare accept
+    assert "observability" not in sh.lower()
+    assert "resilience" not in sh.lower()
+    assert "def drain" not in sh
+    assert "status_fields" not in sh
+    assert "from repro import obs" not in sh
+    assert "import time" not in sh
+
+
+def test_shard_placement_weaves_follow_o9_o12():
+    report = render(dict(ALL_FEATURES_ON, O14=4))
+    sh = report.files["sharding.py"]
+    # O9=Yes: gate, reroute and per-shard overload accounting.
+    assert "s.overload.accepting() for s in self.shards" in sh
+    assert "shard.overload.connection_opened()" in sh
+    # O12=Yes: accept and drain logging through the primary's log.
+    assert "self.primary.log.info" in sh
+
+
 def test_table2_extension_rows_merge():
     assert "Observability" not in PAPER_TABLE2  # paper stays verbatim
     assert "Resilience" not in PAPER_TABLE2
@@ -229,6 +287,10 @@ def test_table2_extension_rows_merge():
     assert EXPECTED_TABLE2["AcceptorEventHandler"]["O13"] == "+"
     assert EXPECTED_TABLE2["Server"]["O13"] == "+"
     assert EXPECTED_TABLE2["ServerConfiguration"]["O13"] == "+"
+    assert EXPECTED_TABLE2["Sharding"]["O14"] == "O"
+    assert EXPECTED_TABLE2["Reactor"]["O14"] == "+"
+    assert EXPECTED_TABLE2["EventDispatcher"]["O14"] == "+"
+    assert EXPECTED_TABLE2["Server"]["O14"] == "+"
     # Extensions only add cells, never overwrite a paper cell.
     for name, row in TABLE2_EXTENSIONS.items():
         for key in row:
@@ -285,10 +347,10 @@ def test_generated_size_same_order_as_paper():
 
 def _matrix_from(table):
     m = CrosscutMatrix(class_names=TABLE2_CLASS_ORDER,
-                       option_keys=[f"O{i}" for i in range(1, 14)])
+                       option_keys=[f"O{i}" for i in range(1, 15)])
     for name in TABLE2_CLASS_ORDER:
         m.cells[name] = {f"O{i}": table.get(name, {}).get(f"O{i}", "")
-                         for i in range(1, 14)}
+                         for i in range(1, 15)}
     return m
 
 

@@ -1,0 +1,22 @@
+"""Shared pytest wiring for the test tree.
+
+Puts ``tests/`` itself on ``sys.path`` so every test file can import
+the deterministic concurrency harness as ``harness`` (see
+``tests/harness/__init__.py``), and exposes its :class:`FakeClock`
+as a fixture.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest  # noqa: E402
+
+from harness import FakeClock  # noqa: E402
+
+
+@pytest.fixture
+def fake_clock():
+    """A manually advanced monotonic clock (see ``harness.FakeClock``)."""
+    return FakeClock()

@@ -2,13 +2,18 @@
 schedule combining slow-peer trickle, mid-stream resets and injected
 handler exceptions — while still serving healthy connections — with the
 resilience counters visible on ``/server-status?auto`` and a graceful
-drain through the generated facade."""
+drain through the generated facade.
+
+Synchronization discipline: no ``time.sleep()`` — cross-thread state is
+awaited with ``harness.wait_until`` and lifecycles run inside
+``harness.ServerFixture``."""
 
 import socket
 import time
 
 import pytest
 
+from harness import ServerFixture, wait_until
 from repro.co2p3s.nserver import COPS_HTTP_RESILIENCE_OPTIONS
 from repro.faults import FaultPlane, FaultSpec, abrupt_reset, trickle_send
 from repro.servers.cops_http import CopsHttpHooks, build_cops_http
@@ -16,48 +21,6 @@ from repro.servers.cops_http import CopsHttpHooks, build_cops_http
 pytestmark = [pytest.mark.faults, pytest.mark.timeout(120)]
 
 SEED = 11
-
-
-def get(port, path, timeout=5.0) -> bytes:
-    """One-shot HTTP GET; returns the raw response (b'' if the server
-    dropped the connection — e.g. an injected handler fault)."""
-    try:
-        s = socket.create_connection(("127.0.0.1", port), timeout=timeout)
-    except OSError:
-        return b""
-    s.settimeout(timeout)
-    data = b""
-    try:
-        s.sendall(f"GET {path} HTTP/1.1\r\nHost: t\r\n"
-                  "Connection: close\r\n\r\n".encode())
-        while True:
-            chunk = s.recv(65536)
-            if not chunk:
-                break
-            data += chunk
-    except OSError:
-        pass
-    finally:
-        s.close()
-    return data
-
-
-def get_until_ok(port, path, attempts=8):
-    """Retry around injected handler faults (deterministic per seed)."""
-    for _ in range(attempts):
-        response = get(port, path)
-        if response.startswith(b"HTTP/1.1 200"):
-            return response
-    raise AssertionError(f"no 200 for {path} in {attempts} attempts")
-
-
-def wait_for(predicate, timeout=10.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(0.01)
-    return False
 
 
 @pytest.fixture
@@ -78,22 +41,17 @@ def faulted_server(tmp_path):
         drain_timeout=5.0,
     )
     plane.install(server)
-    server.start()
-    stopped = []
-    try:
-        yield server, fw, plane, stopped
-    finally:
-        if not stopped:
-            server.stop()
+    with ServerFixture(server) as fixture:
+        yield fixture, fw, plane
 
 
 def test_cops_http_serves_through_seeded_fault_storm(faulted_server):
-    server, fw, plane, stopped = faulted_server
-    port = server.port
+    fixture, fw, plane = faulted_server
+    server = fixture.server
     resilience = server.reactor.resilience
 
     # -- phase 1: normal traffic with injected handler exceptions --------
-    outcomes = [get(port, "/index.html") for _ in range(8)]
+    outcomes = [fixture.http_get("/index.html") for _ in range(8)]
     oks = [r for r in outcomes if r.startswith(b"HTTP/1.1 200")]
     drops = [r for r in outcomes if not r]
     assert oks, "every request failed — the server is not serving"
@@ -102,25 +60,25 @@ def test_cops_http_serves_through_seeded_fault_storm(faulted_server):
     assert plane.counts().get("error", 0) >= 1
 
     # -- phase 2: slow-loris trickle hits the header deadline -------------
-    loris = socket.create_connection(("127.0.0.1", port), timeout=5)
+    loris = fixture.connect()
     trickle_send(loris, b"GET /index.html HTTP/1.1\r\nHost: t\r\n\r\n",
                  chunk=1, delay=0.05,
                  deadline=time.monotonic() + 5.0)
     loris.close()
-    assert wait_for(lambda: resilience.deadlines.timed_out >= 1), \
-        "deadline monitor never closed the trickling peer"
+    wait_until(lambda: resilience.deadlines.timed_out >= 1,
+               message="deadline monitor never closed the trickling peer")
     assert resilience.deadlines.reasons["header"] >= 1
 
     # -- phase 3: mid-stream RST must not wedge anything -------------------
-    rst = socket.create_connection(("127.0.0.1", port), timeout=5)
+    rst = fixture.connect()
     rst.sendall(b"GET /index")          # incomplete request...
     abrupt_reset(rst)                   # ...then a genuine ECONNRESET
 
     # -- phase 4: the server still serves healthy connections --------------
-    assert b"hello fault plane" in get_until_ok(port, "/index.html")
+    assert b"hello fault plane" in fixture.http_get_until_ok("/index.html")
 
     # -- phase 5: resilience counters on /server-status?auto ----------------
-    status = get_until_ok(port, "/server-status?auto")
+    status = fixture.http_get_until_ok("/server-status?auto")
     body = status.split(b"\r\n\r\n", 1)[1].decode()
     fields = dict(line.split(": ", 1) for line in body.splitlines()
                   if ": " in line)
@@ -132,7 +90,7 @@ def test_cops_http_serves_through_seeded_fault_storm(faulted_server):
     # -- phase 6: graceful drain through the generated facade ---------------
     assert fw.Server.drain is not None
     assert server.drain() is True
-    stopped.append(True)
+    fixture.mark_stopped()
 
 
 def test_fault_log_is_replayable(tmp_path):
@@ -152,12 +110,9 @@ def test_fault_log_is_replayable(tmp_path):
             package=f"cops_http_replay{run}_fw",
         )
         plane.install(server)
-        server.start()
-        try:
-            outcomes = [bool(get(server.port, "/index.html"))
+        with ServerFixture(server) as fixture:
+            outcomes = [bool(fixture.http_get("/index.html"))
                         for _ in range(10)]
-        finally:
-            server.stop()
         patterns.append((outcomes,
                          [a.kind for a in plane.schedule.actions("handler")]))
     assert patterns[0] == patterns[1]

@@ -1,0 +1,74 @@
+"""Fault storm against the sharded shape: a seeded WorkerCrash kills
+one shard's Event Processor worker mid-event; that shard's O13
+supervisor respawns it while the other shards keep serving — the blast
+radius of a worker death is one shard, not the server."""
+
+import pytest
+
+from harness import ServerFixture, wait_until
+from repro.faults import FaultPlane, FaultSpec
+from repro.runtime import RuntimeConfig, ServerHooks, ShardedReactorServer
+
+pytestmark = [pytest.mark.faults, pytest.mark.timeout(120)]
+
+#: with handler_crash=0.3, seed 4 injects exactly one crash in twelve
+#: handle() calls — at call index 3, which round-robin over three
+#: shards places on shard 0 (its second connection)
+SEED = 4
+CRASH_INDEX = 3
+
+
+class PingHooks(ServerHooks):
+    def decode(self, raw, conn):
+        return raw.strip().decode()
+
+    def handle(self, request, conn):
+        return request.upper()
+
+    def encode(self, result, conn):
+        return result.encode() + b"\n"
+
+
+def attempt(fixture, timeout=1.0) -> bytes:
+    """One request; b'' when the injected crash eats the reply."""
+    try:
+        return fixture.request(b"ping\n", timeout=timeout)
+    except OSError:
+        return b""
+
+
+def test_worker_crash_stays_inside_one_shard(tmp_path):
+    plane = FaultPlane(FaultSpec(handler_crash=0.3), seed=SEED)
+    cfg = RuntimeConfig(async_completions=False, fault_tolerance=True,
+                        supervision_interval=0.02, processor_threads=2,
+                        profiling=True)
+    server = ShardedReactorServer(plane.wrap_hooks(PingHooks()), cfg,
+                                  shards=3)
+    plane.install(server)
+    with ServerFixture(server) as fixture:
+        outcomes = [attempt(fixture) for _ in range(12)]
+
+        # The seeded crash ate exactly one reply; every other request —
+        # including later ones on the crashed shard — was served.
+        assert outcomes[CRASH_INDEX] == b""
+        assert all(outcomes[i] == b"PING\n"
+                   for i in range(12) if i != CRASH_INDEX), outcomes
+        assert [a.kind for a in plane.schedule.actions("handler")
+                ].count("crash") == 1
+
+        # Round-robin spread the twelve connections evenly — the other
+        # shards were serving while shard 0 took the hit.
+        assert server.accepted_per_shard == [4, 4, 4]
+
+        # The supervisor on the crashed shard — and only that shard —
+        # replaced the dead worker, restoring the pool to full strength.
+        wait_until(lambda: server.shards[0].supervisor.restarts >= 1,
+                   message="supervisor never replaced the dead worker")
+        assert [s.supervisor.restarts for s in server.shards] == [1, 0, 0]
+        wait_until(lambda: server.shards[0].processor.thread_count == 2,
+                   message="worker pool never restored to full strength")
+
+        # Restart counters surface in the aggregated status report.
+        fields = dict(server.status_fields())
+        assert float(fields["server_worker_restarts_total"]) == 1
+        assert float(fields['server_worker_restarts_total{shard="0"}']) == 1

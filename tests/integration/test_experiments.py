@@ -5,6 +5,7 @@ import pytest
 
 from repro.experiments import (
     format_fig3,
+    format_fig3_shards,
     format_fig4,
     format_fig5,
     format_fig6,
@@ -14,6 +15,7 @@ from repro.experiments import (
     format_table4,
     run_capacity_sweep,
     run_fig5,
+    run_shard_sweep,
     run_fig6,
     run_table1,
     run_table2,
@@ -24,10 +26,13 @@ from repro.experiments import (
 
 def test_table1_rows_and_formatting():
     rows = run_table1()
-    # The paper's 12 options plus the O13 fault-tolerance extension.
-    assert len(rows) == 13
+    # The paper's 12 options plus the O13 fault-tolerance and O14
+    # reactor-shards extensions.
+    assert len(rows) == 14
     assert rows[12][0] == "O13: Fault tolerance"
     assert rows[12][2:] == ["No", "No"]     # both paper apps: off
+    assert rows[13][0] == "O14: Reactor shards"
+    assert rows[13][2:] == ["1", "1"]       # both paper apps: one reactor
     text = format_table1(rows)
     assert "COPS-FTP" in text and "Yes: LRU" in text
 
@@ -82,6 +87,16 @@ def test_fig3_sweep_structure(small_sweep):
 def test_fig4_formatting(small_sweep):
     text = format_fig4(small_sweep)
     assert "FIG 4" in text and "Jain" in text
+
+
+def test_shard_sweep_structure():
+    results = run_shard_sweep(shard_counts=(1, 2), clients=24,
+                              duration=8.0, warmup=2.0)
+    assert sorted(results) == [1, 2]
+    assert results[1].server == "1-shard"
+    assert all(p.throughput > 0 for p in results.values())
+    text = format_fig3_shards(results)
+    assert "REACTOR SHARDS" in text and "O14 extension" in text
 
 
 def test_fig5_ratios_track_quotas():

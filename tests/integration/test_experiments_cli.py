@@ -33,6 +33,13 @@ def test_unknown_experiment_rejected():
         main(["fig99"])
 
 
+def test_quick_fig3_shards(capsys):
+    assert main(["fig3-shards", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "O14 extension" in out and "REACTOR SHARDS" in out
+
+
 def test_all_is_every_experiment():
     assert set(EXPERIMENTS) == {"table1", "table2", "table3", "table4",
-                                "fig3", "fig4", "fig5", "fig6"}
+                                "fig3", "fig4", "fig5", "fig6",
+                                "fig3-shards"}

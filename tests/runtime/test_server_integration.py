@@ -1,11 +1,17 @@
-"""Integration tests: ReactorServer over real sockets on localhost."""
+"""Integration tests: ReactorServer over real sockets on localhost.
+
+Synchronization discipline: no ``time.sleep()`` — cross-thread state
+(profiler counters, tracer records, pending accepts) is awaited with
+``harness.wait_until`` and all lifecycles run inside
+``harness.ServerFixture``.
+"""
 
 import socket
 import threading
-import time
 
 import pytest
 
+from harness import ServerFixture, wait_until
 from repro.runtime import (
     CLOSE,
     PENDING,
@@ -15,20 +21,8 @@ from repro.runtime import (
 )
 
 
-def request_response(port, payload, expect_newlines=1, timeout=3.0):
-    s = socket.create_connection(("127.0.0.1", port), timeout=timeout)
-    s.settimeout(timeout)
-    try:
-        s.sendall(payload)
-        buf = b""
-        while buf.count(b"\n") < expect_newlines:
-            chunk = s.recv(4096)
-            if not chunk:
-                break
-            buf += chunk
-        return buf
-    finally:
-        s.close()
+def fixture(hooks, cfg) -> ServerFixture:
+    return ServerFixture(ReactorServer(hooks, cfg))
 
 
 class UpperHooks(ServerHooks):
@@ -45,38 +39,34 @@ class UpperHooks(ServerHooks):
 
 
 def test_echo_roundtrip():
-    with ReactorServer(ServerHooks(), RuntimeConfig(use_codec=False,
-                                                    async_completions=False)) as srv:
-        assert request_response(srv.port, b"hello\n") == b"hello\n"
+    with fixture(ServerHooks(), RuntimeConfig(use_codec=False,
+                                              async_completions=False)) as srv:
+        assert srv.request(b"hello\n") == b"hello\n"
 
 
 def test_codec_pipeline():
-    with ReactorServer(UpperHooks(), RuntimeConfig(async_completions=False)) as srv:
-        assert request_response(srv.port, b"hello\n") == b"HELLO\n"
+    with fixture(UpperHooks(), RuntimeConfig(async_completions=False)) as srv:
+        assert srv.request(b"hello\n") == b"HELLO\n"
 
 
 def test_multiple_requests_one_connection():
-    with ReactorServer(UpperHooks(), RuntimeConfig(async_completions=False)) as srv:
-        s = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
-        s.settimeout(3)
+    with fixture(UpperHooks(), RuntimeConfig(async_completions=False)) as srv:
+        s = srv.connect(timeout=3)
         try:
             for word in (b"one", b"two", b"three"):
                 s.sendall(word + b"\n")
-                buf = b""
-                while not buf.endswith(b"\n"):
-                    buf += s.recv(4096)
-                assert buf == word.upper() + b"\n"
+                assert srv.read_line(s) == word.upper() + b"\n"
         finally:
             s.close()
 
 
 def test_concurrent_clients():
-    with ReactorServer(UpperHooks(), RuntimeConfig(
+    with fixture(UpperHooks(), RuntimeConfig(
             async_completions=False, processor_threads=4)) as srv:
         results = {}
 
         def client(i):
-            results[i] = request_response(srv.port, f"client{i}\n".encode())
+            results[i] = srv.request(f"client{i}\n".encode())
 
         threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
         for t in threads:
@@ -92,10 +82,9 @@ def test_close_sentinel_drops_connection():
         def handle(self, request, conn):
             return CLOSE if request.strip() == b"quit" else request
 
-    with ReactorServer(QuitHooks(), RuntimeConfig(
+    with fixture(QuitHooks(), RuntimeConfig(
             use_codec=False, async_completions=False)) as srv:
-        s = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
-        s.settimeout(3)
+        s = srv.connect(timeout=3)
         s.sendall(b"quit\n")
         assert s.recv(4096) == b""  # orderly close, no reply
         s.close()
@@ -108,9 +97,9 @@ def test_pending_async_reply():
                             args=(request.strip().upper() + b"\n",)).start()
             return PENDING
 
-    with ReactorServer(AsyncHooks(), RuntimeConfig(
+    with fixture(AsyncHooks(), RuntimeConfig(
             use_codec=False, async_completions=False)) as srv:
-        assert request_response(srv.port, b"later\n") == b"LATER\n"
+        assert srv.request(b"later\n") == b"LATER\n"
 
 
 def test_hook_exception_closes_connection_not_server():
@@ -120,32 +109,31 @@ def test_hook_exception_closes_connection_not_server():
                 raise RuntimeError("handler bug")
             return request
 
-    with ReactorServer(Flaky(), RuntimeConfig(
+    with fixture(Flaky(), RuntimeConfig(
             use_codec=False, async_completions=False, profiling=True)) as srv:
         # First connection crashes its handler...
-        s = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
-        s.settimeout(3)
+        s = srv.connect(timeout=3)
         s.sendall(b"die\n")
         assert s.recv(4096) == b""
         s.close()
         # ... but the server still serves new clients.
-        assert request_response(srv.port, b"alive\n") == b"alive\n"
-        assert srv.profiler.snapshot().errors == 1
+        assert srv.request(b"alive\n") == b"alive\n"
+        assert srv.server.profiler.snapshot().errors == 1
 
 
 def test_inline_reactor_without_processor_pool():
     cfg = RuntimeConfig(use_processor_pool=False, use_codec=False,
                         async_completions=False)
-    with ReactorServer(ServerHooks(), cfg) as srv:
-        assert srv.processor is None
-        assert request_response(srv.port, b"inline\n") == b"inline\n"
+    with fixture(ServerHooks(), cfg) as srv:
+        assert srv.server.processor is None
+        assert srv.request(b"inline\n") == b"inline\n"
 
 
 def test_two_dispatcher_threads():
     cfg = RuntimeConfig(dispatcher_threads=2, use_codec=False,
                         async_completions=False)
-    with ReactorServer(ServerHooks(), cfg) as srv:
-        assert request_response(srv.port, b"dual\n") == b"dual\n"
+    with fixture(ServerHooks(), cfg) as srv:
+        assert srv.request(b"dual\n") == b"dual\n"
 
 
 def test_large_reply_flushes_through_writable_events():
@@ -153,10 +141,9 @@ def test_large_reply_flushes_through_writable_events():
         def handle(self, request, conn):
             return b"X" * 1_000_000 + b"\n"
 
-    with ReactorServer(BigHooks(), RuntimeConfig(
+    with fixture(BigHooks(), RuntimeConfig(
             use_codec=False, async_completions=False)) as srv:
-        s = socket.create_connection(("127.0.0.1", srv.port), timeout=5)
-        s.settimeout(5)
+        s = srv.connect(timeout=5)
         s.sendall(b"go\n")
         total = 0
         while total < 1_000_001:
@@ -170,69 +157,65 @@ def test_large_reply_flushes_through_writable_events():
 
 def test_max_connections_cap():
     cfg = RuntimeConfig(use_codec=False, async_completions=False,
-                        max_connections=1)
-    with ReactorServer(ServerHooks(), cfg) as srv:
-        s1 = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
-        s1.settimeout(3)
+                        max_connections=1, profiling=True)
+    with fixture(ServerHooks(), cfg) as srv:
+        profiler = srv.server.profiler
+        s1 = srv.connect(timeout=3)
         s1.sendall(b"first\n")
-        buf = b""
-        while not buf.endswith(b"\n"):
-            buf += s1.recv(4096)
+        assert srv.read_line(s1) == b"first\n"
         # Second connection connects at TCP level (kernel backlog) but
         # the server never accepts it while the first is open.
-        s2 = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
+        s2 = srv.connect(timeout=3)
         s2.settimeout(0.3)
         s2.sendall(b"second\n")
         with pytest.raises(socket.timeout):
             s2.recv(4096)
         s1.close()
-        # After the first closes, the pending connection gets served.
-        time.sleep(0.3)
+        # Once the server notices the close, the pending connection is
+        # accepted — no fixed grace period, just the observable event.
+        wait_until(lambda: profiler.snapshot().connections_accepted >= 2,
+                   message="second connection never accepted")
         s2.settimeout(3)
-        buf = b""
-        try:
-            while not buf.endswith(b"\n"):
-                chunk = s2.recv(4096)
-                if not chunk:
-                    break
-                buf += chunk
-        except socket.timeout:
-            pass
+        assert srv.read_line(s2) == b"second\n"
         s2.close()
-        assert buf == b"second\n"
 
 
 def test_idle_reaper_closes_idle_connections():
     cfg = RuntimeConfig(use_codec=False, async_completions=False,
                         shutdown_long_idle=True, idle_limit=0.2)
-    with ReactorServer(ServerHooks(), cfg) as srv:
-        s = socket.create_connection(("127.0.0.1", srv.port), timeout=3)
-        s.settimeout(3)
-        start = time.monotonic()
-        assert s.recv(4096) == b""  # server reaps us
-        assert time.monotonic() - start < 2.0
+    with fixture(ServerHooks(), cfg) as srv:
+        s = srv.connect(timeout=3)
+        assert s.recv(4096) == b""  # server reaps us (recv is the wait)
         s.close()
-        assert srv.reaper.reaped == 1
+        assert srv.server.reaper.reaped == 1
 
 
 def test_profiling_counts_bytes():
-    with ReactorServer(ServerHooks(), RuntimeConfig(
+    with fixture(ServerHooks(), RuntimeConfig(
             use_codec=False, async_completions=False, profiling=True)) as srv:
-        request_response(srv.port, b"12345\n")
-        time.sleep(0.1)
-        snap = srv.profiler.snapshot()
+        snapshot = srv.server.profiler.snapshot
+        srv.request(b"12345\n")
+        # The sender thread bumps bytes_sent after the flush our read
+        # observed; wait for the counter, not a wall-clock guess.
+        wait_until(lambda: snapshot().bytes_sent >= 6,
+                   message="profiler never saw the sent bytes")
+        snap = snapshot()
         assert snap.bytes_read == 6
         assert snap.bytes_sent == 6
         assert snap.connections_accepted == 1
 
 
 def test_debug_mode_traces_events():
-    with ReactorServer(ServerHooks(), RuntimeConfig(
+    with fixture(ServerHooks(), RuntimeConfig(
             use_codec=False, async_completions=False, debug_mode=True)) as srv:
-        request_response(srv.port, b"traced\n")
-        time.sleep(0.1)
-        categories = {r.category for r in srv.tracer.records()}
-        assert "read" in categories and "send" in categories
+        tracer = srv.server.tracer
+        srv.request(b"traced\n")
+
+        def categories():
+            return {r.category for r in tracer.records()}
+
+        wait_until(lambda: {"read", "send"} <= categories(),
+                   message=f"tracer saw only {categories()}")
 
 
 def test_event_scheduling_config_builds_priority_queue():
@@ -240,9 +223,9 @@ def test_event_scheduling_config_builds_priority_queue():
 
     cfg = RuntimeConfig(use_codec=False, async_completions=False,
                         event_scheduling=True, scheduling_quotas={1: 4, 0: 1})
-    with ReactorServer(ServerHooks(), cfg) as srv:
-        assert isinstance(srv.processor.queue, QuotaPriorityQueue)
-        assert request_response(srv.port, b"sched\n") == b"sched\n"
+    with fixture(ServerHooks(), cfg) as srv:
+        assert isinstance(srv.server.processor.queue, QuotaPriorityQueue)
+        assert srv.request(b"sched\n") == b"sched\n"
 
 
 def test_file_cache_async_serving(tmp_path):
@@ -263,10 +246,10 @@ def test_file_cache_async_serving(tmp_path):
 
     cfg = RuntimeConfig(use_codec=False, cache_policy="LRU",
                         document_root=str(tmp_path))
-    with ReactorServer(FileHooks(), cfg) as srv:
-        assert request_response(srv.port, b"/page.html\n") == b"<html>cached</html>\n"
-        assert request_response(srv.port, b"/page.html\n") == b"<html>cached</html>\n"
-        assert srv.cache.stats.hits >= 1
+    with fixture(FileHooks(), cfg) as srv:
+        assert srv.request(b"/page.html\n") == b"<html>cached</html>\n"
+        assert srv.request(b"/page.html\n") == b"<html>cached</html>\n"
+        assert srv.server.cache.stats.hits >= 1
 
 
 def test_stop_is_idempotent():

@@ -1,0 +1,174 @@
+"""The multi-reactor sharding layer: placement policies (unit),
+placement totality (property), and the sharded server end-to-end over
+real sockets — including the cross-shard drain barrier."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from harness import ServerFixture, wait_until
+from repro.runtime import (
+    ConnectionHashPolicy,
+    LeastConnectionsPolicy,
+    ReactorShard,
+    RoundRobinPolicy,
+    RuntimeConfig,
+    ServerHooks,
+    ShardedReactorServer,
+    make_shard_policy,
+)
+
+
+class FakeHandle:
+    """The only part of a handle a policy may look at: the peer name."""
+
+    def __init__(self, name=""):
+        self.name = name
+
+
+class UpperHooks(ServerHooks):
+    def decode(self, raw, conn):
+        return raw.strip().decode()
+
+    def handle(self, request, conn):
+        return request.upper()
+
+    def encode(self, result, conn):
+        return result.encode() + b"\n"
+
+
+# -- policy units ----------------------------------------------------------
+
+def test_round_robin_strict_rotation():
+    policy = RoundRobinPolicy(4)
+    picks = [policy.pick(FakeHandle()) for _ in range(10)]
+    assert picks == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+
+def test_connection_hash_affinity_is_stable():
+    policy = ConnectionHashPolicy(4)
+    expected = zlib.crc32(b"10.0.0.7") % 4
+    # Same client host, different ephemeral ports: same shard, and the
+    # shard is the CRC32 bucket (stable across processes, unlike hash()).
+    assert policy.pick(FakeHandle("10.0.0.7:1234")) == expected
+    assert policy.pick(FakeHandle("10.0.0.7:9999")) == expected
+    # A handle with no peer name still lands on exactly one shard.
+    assert 0 <= policy.pick(FakeHandle("")) < 4
+
+
+def test_least_connections_tracks_churn():
+    counts = [3, 1, 2]
+    policy = LeastConnectionsPolicy(
+        3, loads=[lambda i=i: counts[i] for i in range(3)])
+    assert policy.pick(FakeHandle()) == 1
+    counts[1] = 5                        # shard 1 fills up...
+    assert policy.pick(FakeHandle()) == 2
+    counts[0] = counts[2] = 0            # ...ties go to the lowest id
+    assert policy.pick(FakeHandle()) == 0
+
+
+def test_make_shard_policy_factory():
+    assert isinstance(make_shard_policy("round-robin", 2), RoundRobinPolicy)
+    assert isinstance(make_shard_policy("hash", 2), ConnectionHashPolicy)
+    assert isinstance(
+        make_shard_policy("least-connections", 2, loads=[int, int]),
+        LeastConnectionsPolicy)
+    with pytest.raises(ValueError):
+        make_shard_policy("least-connections", 2)   # needs load probes
+    with pytest.raises(ValueError):
+        make_shard_policy("power-of-two", 2)
+
+
+# -- placement totality (property) -----------------------------------------
+
+@settings(deadline=None)
+@given(
+    shard_count=st.integers(min_value=1, max_value=8),
+    peers=st.lists(st.from_regex(r"[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}"
+                                 r"\.[0-9]{1,3}:[0-9]{1,5}", fullmatch=True),
+                   max_size=50),
+    policy_name=st.sampled_from(["round-robin", "least-connections",
+                                 "connection-hash"]),
+)
+def test_every_connection_lands_on_exactly_one_shard(shard_count, peers,
+                                                     policy_name):
+    """The placement invariant behind ``accepted_per_shard``: each pick
+    is one in-range index, so the per-shard counts always sum to the
+    number of connections — under churn, for every policy."""
+    counts = [0] * shard_count
+    policy = make_shard_policy(
+        policy_name, shard_count,
+        loads=[lambda i=i: counts[i] for i in range(shard_count)])
+    for peer in peers:
+        index = policy.pick(FakeHandle(peer))
+        assert isinstance(index, int) and 0 <= index < shard_count
+        counts[index] += 1
+    assert sum(counts) == len(peers)
+    if policy_name == "round-robin":
+        assert max(counts) - min(counts) <= 1
+
+
+# -- the sharded server over real sockets ----------------------------------
+
+def test_sharded_server_round_robin_placement_and_serving():
+    cfg = RuntimeConfig(async_completions=False)
+    with ServerFixture(ShardedReactorServer(UpperHooks(), cfg,
+                                            shards=4)) as srv:
+        for i in range(8):
+            assert srv.request(f"word{i}\n".encode()) == \
+                f"WORD{i}\n".encode().upper()
+        server = srv.server
+        wait_until(lambda: sum(server.accepted_per_shard) == 8,
+                   message=f"placed {server.accepted_per_shard}")
+        # Sequential connections under round-robin: perfectly uniform,
+        # and adoption bookkeeping agrees with the accept plane's.
+        assert server.accepted_per_shard == [2, 2, 2, 2]
+        assert [s.adopted for s in server.shards] == [2, 2, 2, 2]
+        assert all(isinstance(s, ReactorShard) for s in server.shards)
+
+
+def test_connection_hash_sends_one_client_to_one_shard():
+    cfg = RuntimeConfig(async_completions=False)
+    with ServerFixture(ShardedReactorServer(UpperHooks(), cfg, shards=4,
+                                            policy="connection-hash")) as srv:
+        for i in range(6):
+            assert srv.request(b"hi\n") == b"HI\n"
+        server = srv.server
+        wait_until(lambda: sum(server.accepted_per_shard) == 6,
+                   message=f"placed {server.accepted_per_shard}")
+        # All connections come from 127.0.0.1 — affinity puts every one
+        # of them on the same single shard.
+        assert sorted(server.accepted_per_shard) == [0, 0, 0, 6]
+
+
+def test_drain_quiesces_every_shard():
+    cfg = RuntimeConfig(async_completions=False, drain_timeout=5.0)
+    with ServerFixture(ShardedReactorServer(UpperHooks(), cfg,
+                                            shards=3)) as srv:
+        for _ in range(6):
+            assert srv.request(b"x\n") == b"X\n"
+        server = srv.server
+        assert server.drain() is True
+        srv.mark_stopped()
+        assert all(shard._quiescent() for shard in server.shards)
+        assert server.open_connections == 0
+
+
+def test_sharded_status_fields_aggregate_per_shard():
+    cfg = RuntimeConfig(async_completions=False, profiling=True)
+    with ServerFixture(ShardedReactorServer(UpperHooks(), cfg,
+                                            shards=2)) as srv:
+        for _ in range(4):
+            assert srv.request(b"y\n") == b"Y\n"
+        server = srv.server
+        wait_until(lambda: sum(server.accepted_per_shard) == 4,
+                   message=f"placed {server.accepted_per_shard}")
+        fields = dict(server.status_fields())
+        assert fields["Shards"] == "2"
+        assert float(fields["server_connections_accepted_total"]) == 4
+        per_shard = [k for k in fields if 'shard="' in k]
+        assert per_shard, "no per-shard labelled fields in the report"
+        report = server.status_report(auto=True)
+        assert "Shards: 2" in report
