@@ -14,6 +14,7 @@ from repro.co2p3s.nserver.options import (
     COPS_HTTP_RESILIENCE_OPTIONS,
     COPS_HTTP_SCHEDULING_OPTIONS,
     COPS_HTTP_SHARDED_OPTIONS,
+    COPS_HTTP_ZEROCOPY_OPTIONS,
     NSERVER_OPTION_SPECS,
     POOL_TOGGLE_BASE,
     option_table_rows,
@@ -39,6 +40,7 @@ __all__ = [
     "COPS_HTTP_RESILIENCE_OPTIONS",
     "COPS_HTTP_SCHEDULING_OPTIONS",
     "COPS_HTTP_SHARDED_OPTIONS",
+    "COPS_HTTP_ZEROCOPY_OPTIONS",
     "NSERVER",
     "NSERVER_MODULES",
     "NSERVER_OPTION_SPECS",

@@ -32,6 +32,7 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     dynamic = o["O5"] == "Dynamic"
     resilient = bool(o["O13"])
     sharded = int(o["O14"]) > 1
+    zerocopy = o["O15"] == "zerocopy"
 
     def on(flag: bool, line: str) -> str:
         return line if flag else OMIT
@@ -122,6 +123,11 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         'sampler.add_probe("server_cache_hit_rate", '
         'lambda: reactor.cache.stats.hit_rate, '
         'help="File cache hit rate (0..1)")')
+    ctx["probe_buffer_pool_hit_rate"] = on(
+        zerocopy,
+        'sampler.add_probe("server_buffer_pool_hit_rate", '
+        'lambda: reactor.buffers.pool.stats.hit_rate, '
+        'help="Header buffer pool hit rate (0..1)")')
 
     # -- communication module -----------------------------------------------------
     ctx["use_codec"] = "True" if codec else "False"
@@ -129,6 +135,12 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
                                           "profiler=reactor.profiler,")
     ctx["communicator_spans_arg"] = on(
         profiling, "spans=reactor.observability.spans,")
+    # Zero-copy write path (O15): the Communicator gets the shared
+    # header pool, and every accepted handle a segmented out-buffer.
+    ctx["communicator_buffer_arg"] = on(
+        zerocopy, "buffer_pool=reactor.buffers.pool,")
+    ctx["zerocopy_outbuffer"] = on(
+        zerocopy, "handle.out_buffer = rt.OutBuffer()")
     five = ('("read request", "decode request", "handle request", '
             '"encode reply", "send reply")')
     three = '("read request", "handle request", "send reply")'
@@ -208,6 +220,7 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         profiling, "self.profiler = self.observability.profiler")
     ctx["wire_observability"] = on(profiling, "self.observability.wire()")
     ctx["make_cache"] = on(cache is not None, "self.cache = Cache(self)")
+    ctx["make_buffers"] = on(zerocopy, "self.buffers = Buffers(self)")
     if pool and sched:
         ctx["make_processor"] = (
             "self.processor = EventProcessor(self, "

@@ -4,7 +4,7 @@ Table 2 rows covered:
 
 ========  =========================================================
 Reactor   body depends on O1 O2 O4 O5 O6 O8 O9 O10 O11 O12 O13 O14
-          (NOT O3 — step handlers are installed by the handlers
+          O15 (NOT O3 — step handlers are installed by the handlers
           module's ``install_step_handlers``; NOT O7 — idle wiring
           lives in ServerComponent / ServerEventHandler / Container)
 Server    body depends on O3, O13 (the ``drain`` facade method) and
@@ -43,6 +43,10 @@ def _sharded(o):
     return int(o["O14"]) > 1
 
 
+def _zerocopy(o):
+    return o["O15"] == "zerocopy"
+
+
 MODULE_REACTOR = ModuleSpec(
     name="reactor",
     doc="Central wiring of the generated framework: the extended Reactor "
@@ -66,6 +70,8 @@ MODULE_REACTOR = ModuleSpec(
                  options=("O2", "O5")),
         Fragment("from $package.cache import Cache",
                  guard=lambda o: o["O6"] is not None, options=("O6",)),
+        Fragment("from $package.buffers import Buffers",
+                 guard=_zerocopy, options=("O15",)),
         Fragment("from $package.observability import Observability",
                  guard=_o("O11"), options=("O11",)),
         Fragment("from $package.resilience import Resilience",
@@ -95,6 +101,7 @@ MODULE_REACTOR = ModuleSpec(
                         self.source = rt.QueueEventSource(self.timer_source)
                         self.container = ContainerComponent(self)
                         $make_cache
+                        $make_buffers
                         $make_processor
                         $make_controller
                         $make_overload
@@ -117,7 +124,7 @@ MODULE_REACTOR = ModuleSpec(
                     # $make_resilience comes last so EventQuarantine.attach
                     # chains (not clobbers) the Debug-mode error_hook.
                     options=("O1", "O2", "O4", "O5", "O6", "O8", "O9",
-                             "O10", "O11", "O12", "O13", "O14"),
+                             "O10", "O11", "O12", "O13", "O14", "O15"),
                 ),
                 # -- connection plumbing -------------------------------------
                 Fragment(

@@ -22,6 +22,7 @@ __all__ = [
     "COPS_HTTP_SCHEDULING_OPTIONS",
     "COPS_HTTP_OVERLOAD_OPTIONS",
     "COPS_HTTP_SHARDED_OPTIONS",
+    "COPS_HTTP_ZEROCOPY_OPTIONS",
     "ALL_FEATURES_ON",
     "option_table_rows",
 ]
@@ -81,6 +82,14 @@ NSERVER_OPTION_SPECS = (
     OptionSpec(key="O14", name="Reactor shards",
                describe_values="1, 2, 4 or 8", default=1,
                values=(1, 2, 4, 8)),
+    # Third structural extension: the response write path.  "zerocopy"
+    # generates a Buffers component (shared size-classed header pool)
+    # plus segmented scatter-gather out-buffers per connection;
+    # "buffered" is the paper's copying write path and emits zero new
+    # code.
+    OptionSpec(key="O15", name="Write path",
+               describe_values="buffered/zerocopy", default="buffered",
+               values=("buffered", "zerocopy")),
 )
 
 #: Table 1, COPS-FTP column.
@@ -99,6 +108,7 @@ COPS_FTP_OPTIONS: Dict[str, object] = {
     "O12": False,
     "O13": False,
     "O14": 1,
+    "O15": "buffered",
 }
 
 #: Table 1, COPS-HTTP column (first experiment: Figs 3/4).
@@ -117,6 +127,7 @@ COPS_HTTP_OPTIONS: Dict[str, object] = {
     "O12": False,
     "O13": False,
     "O14": 1,
+    "O15": "buffered",
 }
 
 #: Second COPS-HTTP experiment (Fig 5): event scheduling on, cache off.
@@ -140,6 +151,11 @@ COPS_HTTP_RESILIENCE_OPTIONS = dict(
 #: shard-count sweep shape — observable, resilient, multi-reactor.
 COPS_HTTP_SHARDED_OPTIONS = dict(COPS_HTTP_RESILIENCE_OPTIONS, O14=4)
 
+#: COPS-HTTP on the zero-copy write path (O15=zerocopy): pooled header
+#: buffers, cached bodies referenced as memoryview segments, and a
+#: scatter-gather send loop — the bench_zero_copy comparison shape.
+COPS_HTTP_ZEROCOPY_OPTIONS = dict(COPS_HTTP_OPTIONS, O15="zerocopy")
+
 #: Everything enabled — the base point for the Table 2 crosscut analysis
 #: (all optional classes exist, so existence toggles are observable).
 ALL_FEATURES_ON: Dict[str, object] = {
@@ -157,6 +173,7 @@ ALL_FEATURES_ON: Dict[str, object] = {
     "O12": True,
     "O13": True,
     "O14": 2,
+    "O15": "zerocopy",
 }
 
 #: Secondary crosscut base: with scheduling / overload / dynamic threads

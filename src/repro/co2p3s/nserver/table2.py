@@ -49,6 +49,7 @@ TABLE2_CLASS_ORDER = [
     "Observability",
     "Resilience",
     "Sharding",
+    "Buffers",
 ]
 
 PAPER_TABLE2 = {
@@ -105,18 +106,27 @@ PAPER_TABLE2 = {
 #: and guarded listener, the dispatcher's ACCEPT route, the Server
 #: Component's optional listen handle and timer arming, the Server
 #: facade's delegation and the configuration's placement policy.
+#: The O15 zero-copy write path adds the Buffers row (exists iff
+#: O15=zerocopy; the body itself is option-independent) and '+'
+#: cells where the option weaves in: the Reactor builds the Buffers
+#: component, the Communicator takes the shared header pool, the
+#: Server Component swaps in segmented out-buffers, the
+#: configuration carries the pool geometry and the Observability
+#: wire probes the pool hit rate.
 TABLE2_EXTENSIONS = {
     "Observability": {"O2": "+", "O6": "+", "O9": "+", "O10": "+",
-                      "O11": "O", "O14": "+"},
-    "ServerComponent": {"O11": "+", "O14": "+"},
-    "ServerConfiguration": {"O11": "+", "O13": "+", "O14": "+"},
+                      "O11": "O", "O14": "+", "O15": "+"},
+    "ServerComponent": {"O11": "+", "O14": "+", "O15": "+"},
+    "ServerConfiguration": {"O11": "+", "O13": "+", "O14": "+", "O15": "+"},
     "Resilience": {"O2": "+", "O11": "+", "O12": "+", "O13": "O"},
-    "Reactor": {"O13": "+", "O14": "+"},
+    "Reactor": {"O13": "+", "O14": "+", "O15": "+"},
     "AcceptorEventHandler": {"O13": "+"},
     "Server": {"O13": "+", "O14": "+"},
     "EventDispatcher": {"O14": "+"},
     "Sharding": {"O9": "+", "O11": "+", "O12": "+", "O13": "+",
                  "O14": "O"},
+    "CommunicatorComponent": {"O15": "+"},
+    "Buffers": {"O15": "O"},
 }
 
 

@@ -19,6 +19,11 @@ from repro.experiments.fig3_fig4 import (
     SHARD_SWEEP_BASE,
     run_shard_sweep,
 )
+from repro.experiments.fig3_zerocopy import (
+    WritePathPoint,
+    format_fig3_zerocopy,
+    run_zerocopy_sweep,
+)
 from repro.experiments.fig5 import format_fig5, run_fig5
 from repro.experiments.fig6 import format_fig6, run_fig6
 
@@ -26,6 +31,7 @@ __all__ = [
     "CapacityPoint",
     "format_fig3",
     "format_fig3_shards",
+    "format_fig3_zerocopy",
     "format_fig4",
     "format_fig5",
     "format_fig6",
@@ -39,6 +45,8 @@ __all__ = [
     "run_shard_sweep",
     "run_fig6",
     "run_table1",
+    "run_zerocopy_sweep",
+    "WritePathPoint",
     "run_table2",
     "run_table3",
     "run_table4",

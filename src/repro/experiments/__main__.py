@@ -17,6 +17,7 @@ import time
 from repro.experiments import (
     format_fig3,
     format_fig3_shards,
+    format_fig3_zerocopy,
     format_fig4,
     format_fig5,
     format_fig6,
@@ -32,10 +33,12 @@ from repro.experiments import (
     run_table2,
     run_table3,
     run_table4,
+    run_zerocopy_sweep,
 )
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4",
-               "fig3", "fig4", "fig5", "fig6", "fig3-shards")
+               "fig3", "fig4", "fig5", "fig6", "fig3-shards",
+               "fig3-zerocopy")
 
 
 def run_one(name: str, quick: bool, cache: dict) -> str:
@@ -64,6 +67,11 @@ def run_one(name: str, quick: bool, cache: dict) -> str:
             duration=10.0 if quick else 40.0,
             warmup=3.0 if quick else 10.0)
         return format_fig3_shards(results)
+    if name == "fig3-zerocopy":
+        results = run_zerocopy_sweep(
+            client_counts=(1, 2) if quick else (1, 2, 4),
+            requests=40 if quick else 120)
+        return format_fig3_zerocopy(results)
     if name == "fig5":
         points, portal_only = run_fig5(
             ratios=((1, 1), (1, 4)) if quick else ((1, 1), (1, 2), (1, 4), (1, 10)),

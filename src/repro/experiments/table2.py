@@ -46,8 +46,9 @@ def paper_matrix() -> CrosscutMatrix:
 
 def expected_matrix() -> CrosscutMatrix:
     """Paper Table 2 plus this reproduction's observability (O11),
-    resilience (O13) and reactor-shards (O14) extensions."""
-    return _matrix_from(EXPECTED_TABLE2, 14)
+    resilience (O13), reactor-shards (O14) and write-path (O15)
+    extensions."""
+    return _matrix_from(EXPECTED_TABLE2, 15)
 
 
 @dataclass

@@ -30,21 +30,53 @@ class HttpResponse:
     #: suppress the body on the wire (HEAD requests keep Content-Length)
     head_only: bool = False
 
-    def encode(self, date: Optional[str] = None) -> bytes:
+    def _wire_headers(self, date: Optional[str]) -> Headers:
+        """The headers as they go on the wire: defaults filled in
+        set-if-absent, and a handler-set ``Content-Length`` never
+        duplicated (RFC 7230 forbids multiple occurrences — a split
+        response is a request-smuggling hazard)."""
         headers = Headers(list(self.headers))
         if "Content-Length" not in headers:
             headers.set("Content-Length", str(len(self.body)))
+        elif len(headers.get_all("Content-Length")) > 1:
+            headers.set("Content-Length", headers.get("Content-Length"))
         if "Server" not in headers:
             headers.set("Server", SERVER_TOKEN)
         if "Date" not in headers:
             headers.set("Date", date if date is not None
                         else formatdate(time.time(), usegmt=True))
+        return headers
+
+    def encode_head(self, date: Optional[str] = None) -> bytes:
+        """Status line + headers + blank line (everything but the body)."""
         status_line = (f"{self.version} {self.status} "
                        f"{reason_phrase(self.status)}\r\n").encode("latin-1")
-        wire = status_line + headers.encode() + b"\r\n"
+        return status_line + self._wire_headers(date).encode() + b"\r\n"
+
+    def encode(self, date: Optional[str] = None) -> bytes:
+        wire = self.encode_head(date)
         if not self.head_only:
             wire += self.body
         return wire
+
+    def encode_segments(self, date: Optional[str] = None, pool=None):
+        """Zero-copy serialisation: the wire bytes as a list of segments
+        whose concatenation equals :meth:`encode` byte-for-byte.
+
+        The head is rendered once — into a pooled buffer when ``pool``
+        (a :class:`~repro.runtime.buffers.BufferPool`) is given — and
+        the body is referenced as a ``memoryview``, never copied.  The
+        segments are meant for ``Communicator.send_bytes``, which
+        queues them on a segmented out-buffer and releases the pooled
+        head once it drains.
+        """
+        head = self.encode_head(date)
+        if pool is not None:
+            head = pool.acquire(len(head)).write(head)
+        segments = [head]
+        if not self.head_only and self.body:
+            segments.append(memoryview(self.body))
+        return segments
 
 
 def error_response(status: int, version: str = "HTTP/1.1",

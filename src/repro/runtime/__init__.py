@@ -10,6 +10,13 @@ idle (O7).
 """
 
 from repro.runtime.acceptor import Acceptor, Connector
+from repro.runtime.buffers import (
+    BufferPool,
+    BufferPoolStats,
+    OutBuffer,
+    PooledBuffer,
+    segment_bytes,
+)
 from repro.runtime.communicator import CLOSE, PENDING, Communicator, ServerHooks
 from repro.runtime.container import Container
 from repro.runtime.dispatcher import EventDispatcher
@@ -75,6 +82,8 @@ __all__ = [
     "AcceptEvent",
     "AsyncFileIO",
     "AsynchronousCompletionToken",
+    "BufferPool",
+    "BufferPoolStats",
     "CLOSE",
     "Communicator",
     "CompletionEvent",
@@ -107,8 +116,10 @@ __all__ = [
     "NullLog",
     "NullProfiler",
     "NullTracer",
+    "OutBuffer",
     "OverloadController",
     "PENDING",
+    "PooledBuffer",
     "ProcessorController",
     "Profiler",
     "QueueEventSource",
@@ -135,4 +146,5 @@ __all__ = [
     "WritableEvent",
     "is_transient_accept_error",
     "make_shard_policy",
+    "segment_bytes",
 ]

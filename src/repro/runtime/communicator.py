@@ -25,6 +25,7 @@ from collections import deque
 from typing import Any, Callable, Optional, Tuple
 
 from repro.obs.spans import NULL_SPANS
+from repro.runtime.buffers import segment_bytes
 from repro.runtime.events import Event
 from repro.runtime.handles import SocketHandle
 from repro.runtime.profiling import NULL_PROFILER
@@ -121,10 +122,14 @@ class Communicator:
         log=NULL_LOG,
         spans=NULL_SPANS,
         clock=time.monotonic,
+        buffer_pool=None,
     ):
         self.handle = handle
         self.hooks = hooks
         self.use_codec = use_codec
+        #: header BufferPool of the zero-copy write path (None = the
+        #: copying path; encode hooks key segment emission off this)
+        self.buffer_pool = buffer_pool
         self.on_teardown = on_teardown
         self.update_interest = update_interest
         self.profiler = profiler
@@ -304,11 +309,26 @@ class Communicator:
 
     # -- output ---------------------------------------------------------------
     def send_bytes(self, data, close_after: bool = False) -> None:
-        """Queue reply bytes and opportunistically flush."""
+        """Queue reply bytes and opportunistically flush.
+
+        ``data`` may also be a list/tuple of segments (the zero-copy
+        encode path): each segment is queued by reference on a
+        segmented out-buffer, or joined into one copy on the legacy
+        ``bytearray`` path.
+        """
         if self.closed:
             return
         if data:
-            self.handle.out_buffer.extend(data)
+            out = self.handle.out_buffer
+            if isinstance(data, (list, tuple)):
+                append = getattr(out, "append_segment", None)
+                if append is not None:
+                    for segment in data:
+                        append(segment)
+                else:
+                    out.extend(b"".join(segment_bytes(s) for s in data))
+            else:
+                out.extend(data)
         if close_after:
             self.close_after_flush = True
         t0 = self.clock()

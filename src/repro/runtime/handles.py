@@ -66,17 +66,30 @@ class SocketHandle(Handle):
     def try_send(self) -> int:
         """Flush as much of ``out_buffer`` as the kernel accepts; returns
         bytes sent.  Raises nothing: reset peers count as flushed-zero
-        with the handle closed."""
-        if not self.out_buffer:
+        with the handle closed.
+
+        A segmented :class:`~repro.runtime.buffers.OutBuffer` (the O15
+        zero-copy write path) is drained with a scatter-gather
+        ``sendmsg`` over its memoryview segments; the legacy
+        ``bytearray`` path is unchanged.
+        """
+        out = self.out_buffer
+        if not out:
             return 0
+        iov = getattr(out, "iov", None)
         try:
-            n = self.sock.send(bytes(self.out_buffer))
+            if iov is None:
+                n = self.sock.send(bytes(out))
+            elif hasattr(self.sock, "sendmsg"):
+                n = self.sock.sendmsg(iov())
+            else:  # pragma: no cover - platforms without sendmsg
+                n = self.sock.send(iov(1)[0])
         except BlockingIOError:
             return 0
         except (ConnectionResetError, BrokenPipeError):
             self.close()
             return 0
-        del self.out_buffer[:n]
+        del out[:n]
         return n
 
     @property

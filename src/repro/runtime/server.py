@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.cache import FileCache
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.runtime.buffers import BufferPool, OutBuffer
 from repro.obs.sampler import PeriodicSampler
 from repro.obs.spans import NULL_SPANS, SpanRecorder
 from repro.runtime.acceptor import Acceptor
@@ -78,6 +79,9 @@ class RuntimeConfig:
     logging: bool = False                       # O12
     sample_interval: float = 1.0                # O11 gauge-sampler period
     fault_tolerance: bool = False               # O13
+    write_path: str = "buffered"                # O15: "buffered"/"zerocopy"
+    buffer_size_classes: tuple = (1024, 4096, 16384, 65536)
+    buffer_pool_limit: int = 64                 # free buffers kept per class
     header_timeout: float = 5.0
     request_timeout: float = 30.0
     write_timeout: float = 30.0
@@ -136,6 +140,19 @@ class ReactorServer:
                                        policy=config.cache_policy)
             if config.profiling:
                 self.profiler.attach_cache(self.cache.stats)
+
+        # O15: zero-copy write path — a shared header BufferPool plus a
+        # segmented OutBuffer per connection (installed in
+        # _make_communicator).  "buffered" keeps the copying path.
+        self.buffer_pool: Optional[BufferPool] = None
+        if config.write_path == "zerocopy":
+            self.buffer_pool = BufferPool(
+                classes=config.buffer_size_classes,
+                per_class=config.buffer_pool_limit)
+        elif config.write_path != "buffered":
+            raise ValueError(
+                f"write_path must be 'buffered' or 'zerocopy', "
+                f"not {config.write_path!r}")
 
         # Event source chain (Decorator): sockets -> timers -> app queue.
         self.socket_source = SocketEventSource()
@@ -237,6 +254,11 @@ class ReactorServer:
                     "server_cache_hit_rate",
                     lambda: self.cache.stats.hit_rate,
                     help="File cache hit rate (0..1)")
+            if self.buffer_pool is not None:
+                sampler.add_probe(
+                    "server_buffer_pool_hit_rate",
+                    lambda: self.buffer_pool.stats.hit_rate,
+                    help="Header buffer pool hit rate (0..1)")
             self.sampler = sampler
 
         # O13: resilience runtime — per-stage deadlines, worker
@@ -291,6 +313,11 @@ class ReactorServer:
         return self.listen.port
 
     def _make_communicator(self, handle) -> Communicator:
+        # The segmented out-buffer must be in place before construction:
+        # hooks.on_connect runs inside Communicator.__init__ and may
+        # already queue output (e.g. a server greeting).
+        if self.buffer_pool is not None:
+            handle.out_buffer = OutBuffer()
         conn = Communicator(
             handle,
             self.hooks,
@@ -301,6 +328,7 @@ class ReactorServer:
             tracer=self.tracer,
             log=self.log,
             spans=self.spans,
+            buffer_pool=self.buffer_pool,
         )
         conn.context["server"] = self
         self.container.add(conn)

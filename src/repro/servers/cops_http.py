@@ -130,11 +130,16 @@ class CopsHttpHooks(ServerHooks):
         return response
 
     # -- Encode Reply ---------------------------------------------------------
-    def encode(self, result, conn) -> bytes:
-        wire = result.encode()
+    def encode(self, result, conn):
+        """Serialise the response: segments on the zero-copy write path
+        (O15=zerocopy builds give every Communicator the shared header
+        pool), one concatenated ``bytes`` otherwise."""
         if getattr(result, "_close_after", False):
             conn.close_after_flush = True
-        return wire
+        pool = getattr(conn, "buffer_pool", None)
+        if pool is not None:
+            return result.encode_segments(pool=pool)
+        return result.encode()
 
     # -- event scheduling hook (Fig 5: 13 added lines in the paper) -------------
     def classify_priority(self, conn) -> int:
@@ -170,6 +175,7 @@ def build_cops_http(
     host: str = "127.0.0.1",
     port: int = 0,
     shards: int = 1,
+    write_path: str = "buffered",
     **config_overrides,
 ):
     """Generate the COPS-HTTP framework and return a started-able Server.
@@ -180,11 +186,17 @@ def build_cops_http(
     queue.  Pass ``shard_policy=...`` as a config override to pick the
     connection-placement policy.
 
+    ``write_path="zerocopy"`` regenerates with option O15: pooled
+    header buffers, cached bodies as memoryview segments, and a
+    scatter-gather send loop instead of the copying write path.
+
     Returns ``(server, framework_module, generation_report)``.
     """
     option_dict = dict(options or COPS_HTTP_OPTIONS)
     if shards != 1:
         option_dict["O14"] = shards
+    if write_path != "buffered":
+        option_dict["O15"] = write_path
     opts = NSERVER.configure(option_dict)
     dest = dest or tempfile.mkdtemp(prefix="cops_http_")
     report = NSERVER.generate(opts, dest, package=package)
@@ -217,6 +229,9 @@ def main(argv=None) -> int:
                         help="shard placement policy (O14>1 builds only)")
     parser.add_argument("--observability", action="store_true",
                         help="generate with O11=Yes (/server-status)")
+    parser.add_argument("--write-path", default="buffered",
+                        choices=("buffered", "zerocopy"),
+                        help="response write path (template option O15)")
     args = parser.parse_args(argv)
 
     option_dict = dict(COPS_HTTP_OPTIONS)
@@ -227,10 +242,12 @@ def main(argv=None) -> int:
         overrides["shard_policy"] = args.policy
     server, _fw, _report = build_cops_http(
         args.root, options=option_dict, host=args.host, port=args.port,
-        shards=args.shards, **overrides)
+        shards=args.shards, write_path=args.write_path, **overrides)
     server.start()
     shape = (f"{args.shards} shards ({args.policy})"
              if args.shards != 1 else "single reactor")
+    if args.write_path != "buffered":
+        shape += f", {args.write_path} write path"
     print(f"COPS-HTTP serving {args.root} on "
           f"{args.host}:{server.port} — {shape}", flush=True)
     try:

@@ -1,0 +1,130 @@
+"""Property-based eviction-policy invariants (hypothesis).
+
+Beyond the accounting invariants in ``tests/property``:
+
+* no policy ever lets used bytes exceed capacity, under arbitrary
+  operation sequences;
+* the eviction *victim* is policy-correct: LRU evicts only entries less
+  recently used than every survivor, LFU (and Hyper-G) only entries
+  whose (frequency, recency) rank below every survivor.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import Cache, POLICIES, make_policy
+
+CAPACITY = 100
+KEYS = st.integers(min_value=0, max_value=15)
+SIZES = st.integers(min_value=1, max_value=60)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, SIZES),
+        st.tuples(st.just("get"), KEYS, st.just(0)),
+    ),
+    max_size=150,
+)
+
+
+def _fresh(policy_name):
+    return Cache(capacity=CAPACITY, policy=make_policy(policy_name))
+
+
+@given(policy_name=st.sampled_from(sorted(POLICIES)), operations=ops)
+@settings(max_examples=80, deadline=None)
+def test_capacity_never_exceeded(policy_name, operations):
+    c = _fresh(policy_name)
+    for op, key, size in operations:
+        if op == "put":
+            c.put(key, size)
+        else:
+            c.get(key)
+        assert c.used <= c.capacity
+        assert c.used == sum(e.size for e in c.entries())
+
+
+class _Model:
+    """Shadow bookkeeping: recency and frequency per live key, using
+    the same rules as CacheEntry (insert counts as one use)."""
+
+    def __init__(self):
+        self.tick = 0
+        self.last = {}
+        self.freq = {}
+
+    def on_put(self, key):
+        self.tick += 1
+        self.last[key] = self.tick
+        self.freq[key] = 1
+
+    def on_hit(self, key):
+        self.tick += 1
+        self.last[key] = self.tick
+        self.freq[key] += 1
+
+    def drop(self, key):
+        self.last.pop(key, None)
+        self.freq.pop(key, None)
+
+
+def _run_with_victim_check(policy_name, operations, rank):
+    """Replay ``operations``; after every eviction assert each evicted
+    key ranked no higher than every surviving key under ``rank``."""
+    c = _fresh(policy_name)
+    model = _Model()
+    for op, key, size in operations:
+        if op == "get":
+            if c.get(key) is not None:
+                model.on_hit(key)
+            continue
+        before = {e.key for e in c.entries()}
+        ranks = {k: rank(model, k) for k in before}
+        inserted = c.put(key, size)
+        after = {e.key for e in c.entries()}
+        evicted = before - after - {key}
+        survivors = after - {key}
+        for loser in evicted:
+            assert all(ranks[loser] <= ranks[winner] for winner in survivors), \
+                f"{policy_name} evicted {loser} over {survivors}"
+            model.drop(loser)
+        if key in before and key not in after:
+            model.drop(key)      # replacement put that was then rejected
+        if inserted:
+            model.on_put(key)
+
+
+@given(operations=ops)
+@settings(max_examples=80, deadline=None)
+def test_lru_evicts_least_recently_used(operations):
+    _run_with_victim_check("LRU", operations,
+                           rank=lambda m, k: m.last[k])
+
+
+@given(operations=ops)
+@settings(max_examples=80, deadline=None)
+def test_lfu_evicts_least_frequently_used(operations):
+    _run_with_victim_check("LFU", operations,
+                           rank=lambda m, k: (m.freq[k], m.last[k]))
+
+
+@given(operations=ops)
+@settings(max_examples=80, deadline=None)
+def test_hyper_g_ranks_frequency_then_recency(operations):
+    _run_with_victim_check("Hyper-G", operations,
+                           rank=lambda m, k: (m.freq[k], m.last[k]))
+
+
+@given(operations=ops, threshold=st.integers(min_value=1, max_value=60))
+@settings(max_examples=60, deadline=None)
+def test_lru_threshold_never_admits_oversize(operations, threshold):
+    c = Cache(capacity=CAPACITY,
+              policy=make_policy("LRU-Threshold", threshold=threshold))
+    for op, key, size in operations:
+        if op == "put":
+            admitted = c.put(key, size)
+            if size > threshold:
+                assert not admitted
+        else:
+            c.get(key)
+        assert all(e.size <= threshold for e in c.entries())
+        assert c.used <= c.capacity

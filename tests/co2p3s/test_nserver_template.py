@@ -21,6 +21,7 @@ from repro.co2p3s.nserver import (
     COPS_HTTP_RESILIENCE_OPTIONS,
     COPS_HTTP_SCHEDULING_OPTIONS,
     COPS_HTTP_SHARDED_OPTIONS,
+    COPS_HTTP_ZEROCOPY_OPTIONS,
     EXPECTED_TABLE2,
     NSERVER,
     PAPER_TABLE2,
@@ -34,18 +35,19 @@ from repro.co2p3s.nserver import (
 # -- Table 1: the option model -------------------------------------------------
 
 
-def test_fourteen_options():
-    # The paper's twelve plus the O13 fault-tolerance and O14
-    # reactor-shards extensions.
+def test_fifteen_options():
+    # The paper's twelve plus the O13 fault-tolerance, O14
+    # reactor-shards and O15 write-path extensions.
     specs = NSERVER.option_specs()
-    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 15)]
+    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 16)]
 
 
 def test_paper_configurations_are_legal():
     for config in (COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS,
                    COPS_HTTP_SCHEDULING_OPTIONS, COPS_HTTP_OVERLOAD_OPTIONS,
                    COPS_HTTP_RESILIENCE_OPTIONS, COPS_HTTP_SHARDED_OPTIONS,
-                   ALL_FEATURES_ON, POOL_TOGGLE_BASE):
+                   COPS_HTTP_ZEROCOPY_OPTIONS, ALL_FEATURES_ON,
+                   POOL_TOGGLE_BASE):
         opts = NSERVER.configure(config)
         NSERVER.validate(opts)
 
@@ -68,7 +70,7 @@ def test_cops_http_column_matches_table1():
 
 def test_option_table_rows_shape():
     rows = option_table_rows(COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS)
-    assert len(rows) == 14
+    assert len(rows) == 15
     assert all(len(r) == 4 for r in rows)
     o6 = next(r for r in rows if r[0].startswith("O6"))
     assert o6[2] == "No" and o6[3] == "Yes: LRU"
@@ -104,11 +106,12 @@ def test_all_files_parse_for_paper_configs():
             ast.parse(text)
 
 
-def test_full_config_generates_all_30_classes():
+def test_full_config_generates_all_31_classes():
     report = render(ALL_FEATURES_ON)
     assert set(report.class_names()) == set(TABLE2_CLASS_ORDER)
     # paper's 27 + Observability (O11) + Resilience (O13) + Sharding (O14)
-    assert len(TABLE2_CLASS_ORDER) == 30
+    # + Buffers (O15)
+    assert len(TABLE2_CLASS_ORDER) == 31
 
 
 def test_optional_classes_absent_when_options_off():
@@ -276,6 +279,52 @@ def test_shard_placement_weaves_follow_o9_o12():
     assert "self.primary.log.info" in sh
 
 
+def test_zerocopy_code_present_when_o15_on():
+    report = render(COPS_HTTP_ZEROCOPY_OPTIONS)
+    assert "buffers.py" in report.files
+    buf = report.files["buffers.py"]
+    assert "class Buffers" in buf
+    assert "rt.BufferPool" in buf
+    assert "configuration.buffer_size_classes" in buf
+    assert "configuration.buffer_pool_limit" in buf
+    assert "rt.OutBuffer()" in buf
+    reactor_text = report.files["reactor.py"]
+    assert "from t.buffers import Buffers" in reactor_text
+    assert "self.buffers = Buffers(self)" in reactor_text
+    comm = report.files["communication.py"]
+    assert "buffer_pool=reactor.buffers.pool" in comm
+    assert "handle.out_buffer = rt.OutBuffer()" in comm
+    assert "buffer_size_classes = (1024, 4096, 16384, 65536)" in comm
+    assert "buffer_pool_limit = 64" in comm
+
+
+def test_zerocopy_probe_present_only_with_observability():
+    plain = render(COPS_HTTP_ZEROCOPY_OPTIONS)
+    assert "observability.py" not in plain.files
+    with_obs = render(dict(COPS_HTTP_ZEROCOPY_OPTIONS, O11=True))
+    obs_text = with_obs.files["observability.py"]
+    assert "server_buffer_pool_hit_rate" in obs_text
+    assert "reactor.buffers.pool.stats.hit_rate" in obs_text
+
+
+ALL_FEATURES_ON_BUFFERED = dict(ALL_FEATURES_ON, O15="buffered")
+
+
+def test_buffered_write_path_emits_zero_buffer_code():
+    """O15=buffered is the paper's copying write path: no buffers
+    module and no buffer call site anywhere in the generated text."""
+    report = render(ALL_FEATURES_ON_BUFFERED)
+    assert "buffers.py" not in report.files
+    for filename, text in report.files.items():
+        if filename == "__init__.py":
+            continue  # GENERATED_OPTIONS records 'O15': 'buffered'
+        assert "Buffers" not in text, filename
+        assert "OutBuffer" not in text, filename
+        assert "buffer_pool" not in text, filename
+        assert "buffer_size_classes" not in text, filename
+        assert "out_buffer" not in text, filename
+
+
 def test_table2_extension_rows_merge():
     assert "Observability" not in PAPER_TABLE2  # paper stays verbatim
     assert "Resilience" not in PAPER_TABLE2
@@ -291,6 +340,12 @@ def test_table2_extension_rows_merge():
     assert EXPECTED_TABLE2["Reactor"]["O14"] == "+"
     assert EXPECTED_TABLE2["EventDispatcher"]["O14"] == "+"
     assert EXPECTED_TABLE2["Server"]["O14"] == "+"
+    assert EXPECTED_TABLE2["Buffers"]["O15"] == "O"
+    assert EXPECTED_TABLE2["Reactor"]["O15"] == "+"
+    assert EXPECTED_TABLE2["CommunicatorComponent"]["O15"] == "+"
+    assert EXPECTED_TABLE2["ServerComponent"]["O15"] == "+"
+    assert EXPECTED_TABLE2["ServerConfiguration"]["O15"] == "+"
+    assert EXPECTED_TABLE2["Observability"]["O15"] == "+"
     # Extensions only add cells, never overwrite a paper cell.
     for name, row in TABLE2_EXTENSIONS.items():
         for key in row:
@@ -347,10 +402,10 @@ def test_generated_size_same_order_as_paper():
 
 def _matrix_from(table):
     m = CrosscutMatrix(class_names=TABLE2_CLASS_ORDER,
-                       option_keys=[f"O{i}" for i in range(1, 15)])
+                       option_keys=[f"O{i}" for i in range(1, 16)])
     for name in TABLE2_CLASS_ORDER:
         m.cells[name] = {f"O{i}": table.get(name, {}).get(f"O{i}", "")
-                         for i in range(1, 15)}
+                         for i in range(1, 16)}
     return m
 
 

@@ -12,8 +12,16 @@ import sys
 sys.path.insert(0, os.path.dirname(__file__))
 
 import pytest  # noqa: E402
+from hypothesis import settings  # noqa: E402
 
 from harness import FakeClock  # noqa: E402
+
+# Reproducible property tests in CI: derandomize makes hypothesis
+# derive examples from the test body alone (fixed seed), so a red CI
+# run is replayable locally with HYPOTHESIS_PROFILE=ci.
+settings.register_profile("ci", deadline=None, derandomize=True,
+                          print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

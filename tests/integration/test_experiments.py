@@ -6,6 +6,7 @@ import pytest
 from repro.experiments import (
     format_fig3,
     format_fig3_shards,
+    format_fig3_zerocopy,
     format_fig4,
     format_fig5,
     format_fig6,
@@ -21,18 +22,21 @@ from repro.experiments import (
     run_table2,
     run_table3,
     run_table4,
+    run_zerocopy_sweep,
 )
 
 
 def test_table1_rows_and_formatting():
     rows = run_table1()
-    # The paper's 12 options plus the O13 fault-tolerance and O14
-    # reactor-shards extensions.
-    assert len(rows) == 14
+    # The paper's 12 options plus the O13 fault-tolerance, O14
+    # reactor-shards and O15 write-path extensions.
+    assert len(rows) == 15
     assert rows[12][0] == "O13: Fault tolerance"
     assert rows[12][2:] == ["No", "No"]     # both paper apps: off
     assert rows[13][0] == "O14: Reactor shards"
     assert rows[13][2:] == ["1", "1"]       # both paper apps: one reactor
+    assert rows[14][0] == "O15: Write path"
+    assert rows[14][2:] == ["buffered", "buffered"]  # the paper's path
     text = format_table1(rows)
     assert "COPS-FTP" in text and "Yes: LRU" in text
 
@@ -97,6 +101,21 @@ def test_shard_sweep_structure():
     assert all(p.throughput > 0 for p in results.values())
     text = format_fig3_shards(results)
     assert "REACTOR SHARDS" in text and "O14 extension" in text
+
+
+def test_zerocopy_sweep_structure():
+    """Small real-socket sweep: both write paths serve the same sample
+    correctly (the throughput *gap* is the benchmark's job, not a shape
+    assertion — a loaded CI host would make it flaky here)."""
+    results = run_zerocopy_sweep(client_counts=(1, 2), requests=8)
+    assert set(results) == {"buffered", "zerocopy"}
+    for pts in results.values():
+        assert [p.clients for p in pts] == [1, 2]
+        assert all(p.throughput > 0 for p in pts)
+        assert all(p.megabytes_per_sec > 0 for p in pts)
+    text = format_fig3_zerocopy(results)
+    assert "O15 extension" in text and "ZERO-COPY" in text
+    assert "throughput ratio" in text
 
 
 def test_fig5_ratios_track_quotas():

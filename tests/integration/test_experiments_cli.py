@@ -39,7 +39,13 @@ def test_quick_fig3_shards(capsys):
     assert "O14 extension" in out and "REACTOR SHARDS" in out
 
 
+def test_quick_fig3_zerocopy(capsys):
+    assert main(["fig3-zerocopy", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "O15 extension" in out and "ZERO-COPY" in out
+
+
 def test_all_is_every_experiment():
     assert set(EXPERIMENTS) == {"table1", "table2", "table3", "table4",
                                 "fig3", "fig4", "fig5", "fig6",
-                                "fig3-shards"}
+                                "fig3-shards", "fig3-zerocopy"}

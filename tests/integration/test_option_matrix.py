@@ -37,10 +37,15 @@ MATRIX = {
     # lean on), sharding with hash affinity, and everything at once.
     "sharded_bare": dict(BASE, O14=2),
     "sharded_hash_policy": dict(BASE, O14=4),
+    # O15 corners: the zero-copy write path bare, composed with the
+    # async cache it is built for, and in the kitchen sink.
+    "zerocopy_bare": dict(BASE, O15="zerocopy"),
+    "zerocopy_cached": dict(BASE, O4="Asynchronous", O6="LRU",
+                            O15="zerocopy"),
     "kitchen_sink": dict(BASE, O1="2N", O4="Asynchronous", O5="Dynamic",
                          O6="LFU", O7=True, O8=True, O9=True,
                          O10="Debug", O11=True, O12=True, O13=True,
-                         O14=2),
+                         O14=2, O15="zerocopy"),
 }
 
 
@@ -128,6 +133,22 @@ def test_o14_default_emits_zero_sharding_code(tmp_path):
     for name in report.files:
         text = (tmp_path / "matrix_flat_fw" / name).read_text()
         assert "shard" not in text.lower(), f"sharding leaked into {name}"
+
+
+def test_o15_default_emits_zero_buffer_code(tmp_path):
+    """O15=buffered builds carry no trace of the zero-copy write path —
+    not a file, not a call site (the no-dead-code property again)."""
+    opts = NSERVER.configure(BASE)
+    report = NSERVER.generate(opts, str(tmp_path), package="matrix_buf_fw")
+    assert "buffers.py" not in report.files
+    for name in report.files:
+        if name == "__init__.py":
+            continue  # GENERATED_OPTIONS records 'O15': 'buffered'
+        text = (tmp_path / "matrix_buf_fw" / name).read_text()
+        for forbidden in ("Buffers", "OutBuffer", "buffer_pool",
+                          "out_buffer"):
+            assert forbidden not in text, \
+                f"{forbidden!r} leaked into O15=buffered {name}"
 
 
 def test_sharded_without_obs_or_resilience_stays_clean(tmp_path):

@@ -1,0 +1,250 @@
+"""Property-based tests for the zero-copy write path (option O15).
+
+* the pool never hands out a buffer whose storage is still checked out;
+* released buffers are reused (that is the point of pooling);
+* size-class selection and retention bounds;
+* an adversarial short-write socket drains a segmented OutBuffer to
+  exactly the concatenated payload, releasing every pooled owner;
+* the OutBuffer's bytearray-compatible surface matches a bytes model.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.runtime.buffers import (
+    BufferPool,
+    OutBuffer,
+    PooledBuffer,
+    segment_bytes,
+)
+from repro.runtime.handles import SocketHandle
+
+PAYLOAD = st.binary(max_size=300)
+#: segment kind: plain bytes, a memoryview over bytes, or a pooled head
+KIND = st.sampled_from(["bytes", "view", "pooled"])
+
+
+# -- BufferPool -----------------------------------------------------------
+
+
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["acquire", "release"]),
+              st.integers(min_value=0, max_value=70000),
+              st.integers(min_value=0, max_value=9)),
+    max_size=120))
+@settings(max_examples=80, deadline=None)
+def test_pool_never_hands_out_checked_out_storage(ops):
+    pool = BufferPool(classes=(64, 256, 1024), per_class=3)
+    held = []
+    for op, size, pick in ops:
+        if op == "acquire":
+            buf = pool.acquire(size)
+            assert buf.in_use
+            assert buf.capacity >= size
+            assert all(buf is not other for other in held)
+            assert all(buf.data is not other.data for other in held)
+            held.append(buf)
+        elif held:
+            buf = held.pop(pick % len(held))
+            buf.release()
+            assert not buf.in_use
+    assert pool.stats.acquires == pool.stats.hits + pool.stats.misses
+    assert pool.stats.releases <= pool.stats.acquires
+
+
+def test_released_buffer_is_reused():
+    pool = BufferPool(classes=(64,), per_class=4)
+    a = pool.acquire(10)
+    assert pool.stats.misses == 1
+    a.release()
+    b = pool.acquire(20)
+    assert b is a
+    assert b.used == 0 and b.in_use
+    assert pool.stats.hits == 1
+    assert pool.stats.hit_rate == 0.5
+
+
+def test_size_class_selection_and_oversize():
+    pool = BufferPool(classes=(64, 256), per_class=2)
+    assert pool.acquire(1).capacity == 64
+    assert pool.acquire(64).capacity == 64
+    assert pool.acquire(65).capacity == 256
+    oversize = pool.acquire(1000)
+    assert oversize.capacity == 1000  # exact-size one-shot
+    oversize.release()
+    assert pool.stats.discards == 1   # no class retains it
+    assert pool.free_count() == 0
+
+
+def test_release_errors():
+    pool = BufferPool(classes=(64,))
+    other = BufferPool(classes=(64,))
+    buf = pool.acquire(8)
+    buf.release()
+    with pytest.raises(ValueError):
+        buf.release()
+    with pytest.raises(ValueError):
+        other.release(pool.acquire(8))
+
+
+def test_per_class_retention_bound():
+    pool = BufferPool(classes=(64,), per_class=2)
+    bufs = [pool.acquire(8) for _ in range(5)]
+    for buf in bufs:
+        buf.release()
+    assert pool.free_count() == 2
+    assert pool.stats.discards == 3
+
+
+def test_pooled_write_overflow_raises():
+    pool = BufferPool(classes=(8,))
+    buf = pool.acquire(8)
+    buf.write(b"12345678")
+    with pytest.raises(ValueError):
+        buf.write(b"x")
+
+
+# -- OutBuffer drain under adversarial short writes -----------------------
+
+
+class ShortWriteSock:
+    """A socket double whose sendmsg accepts an adversarial number of
+    bytes per call (then everything, so drains terminate)."""
+
+    def __init__(self, caps):
+        self.caps = deque(caps)
+        self.sent = bytearray()
+
+    def setblocking(self, flag):
+        pass
+
+    def getpeername(self):
+        raise OSError("not connected")
+
+    def sendmsg(self, iov):
+        total = sum(len(v) for v in iov)
+        n = min(self.caps.popleft(), total) if self.caps else total
+        remaining = n
+        for view in iov:
+            take = min(len(view), remaining)
+            self.sent += bytes(view[:take])
+            remaining -= take
+            if not remaining:
+                break
+        return n
+
+    def close(self):
+        pass
+
+
+def _build(pool, segments):
+    """Queue (kind, payload) segments on a fresh OutBuffer; returns the
+    buffer, the expected concatenation and the pooled-segment count."""
+    out = OutBuffer()
+    expected = bytearray()
+    pooled = 0
+    for kind, payload in segments:
+        if kind == "pooled":
+            out.append_segment(pool.acquire(len(payload)).write(payload))
+            pooled += 1
+        elif kind == "view":
+            out.append_segment(memoryview(payload))
+        else:
+            out.append_segment(payload)
+        expected += payload
+    return out, bytes(expected), pooled
+
+
+@given(segments=st.lists(st.tuples(KIND, PAYLOAD), max_size=12),
+       caps=st.lists(st.integers(min_value=0, max_value=97), max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_short_write_drain_reproduces_payload_exactly(segments, caps):
+    pool = BufferPool(classes=(64, 512), per_class=8)
+    out, expected, pooled = _build(pool, segments)
+    assert len(out) == len(expected)
+    assert bytes(out) == expected
+
+    handle = SocketHandle(ShortWriteSock(caps))
+    handle.out_buffer = out
+    stalls = 0
+    while handle.out_buffer and stalls < len(caps) + 1:
+        if handle.try_send() == 0:
+            stalls += 1  # a 0-cap call sent nothing; caps are finite
+    assert bytes(handle.sock.sent) == expected
+    assert len(out) == 0 and not out
+    # Every pooled head went back to the pool exactly once.
+    assert pool.stats.releases == pooled
+
+
+@given(segments=st.lists(st.tuples(KIND, PAYLOAD), max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_clear_releases_every_pooled_owner(segments):
+    pool = BufferPool(classes=(64, 512), per_class=8)
+    out, _expected, pooled = _build(pool, segments)
+    out.clear()
+    assert len(out) == 0
+    assert pool.stats.releases == pooled
+
+
+def test_iov_is_capped_under_iov_max():
+    out = OutBuffer()
+    for i in range(100):
+        out.append_segment(bytes([i]))
+    assert len(out.iov()) == 64
+    assert len(out.iov(max_vecs=3)) == 3
+    assert len(out) == 100
+
+
+# -- bytearray-compatible surface ----------------------------------------
+
+
+@given(segments=st.lists(PAYLOAD, max_size=8),
+       cut=st.integers(min_value=0, max_value=400),
+       cap=st.integers(min_value=0, max_value=400))
+@settings(max_examples=80, deadline=None)
+def test_bytearray_surface_matches_bytes_model(segments, cut, cap):
+    out = OutBuffer()
+    model = bytearray()
+    for payload in segments:
+        out.extend(payload)
+        model.extend(payload)
+    assert bytes(out) == bytes(model)
+    assert len(out) == len(model)
+    assert bool(out) == bool(model)
+    assert out[:cap] == bytes(model[:cap])
+    del out[:cut]
+    del model[:cut]
+    assert bytes(out) == bytes(model)
+    del out[:]
+    del model[:]
+    assert bytes(out) == b"" and len(out) == 0
+
+
+def test_non_prefix_deletes_rejected():
+    out = OutBuffer()
+    out.extend(b"abcdef")
+    with pytest.raises(TypeError):
+        del out[2:4]
+    with pytest.raises(TypeError):
+        del out[:-1]
+    with pytest.raises(TypeError):
+        out[0]
+
+
+def test_segment_bytes_covers_all_kinds():
+    pool = BufferPool(classes=(64,))
+    head = pool.acquire(3).write(b"abc")
+    assert segment_bytes(head) == b"abc"
+    assert segment_bytes(memoryview(b"xyz")) == b"xyz"
+    assert segment_bytes(b"raw") == b"raw"
+    assert segment_bytes(bytearray(b"ba")) == b"ba"
+
+
+def test_mutable_segments_are_snapshotted():
+    out = OutBuffer()
+    data = bytearray(b"live")
+    out.append_segment(data)
+    data[:] = b"dead"
+    assert bytes(out) == b"live"
