@@ -61,15 +61,23 @@ class CrosscutMatrix:
         return diffs
 
 
-def _snapshot(template: PatternTemplate, opts: OptionSet) -> Dict[str, str]:
-    """class name -> rendered source at the given options."""
+def _snapshot(template: PatternTemplate, opts: OptionSet,
+              canon=None) -> Dict[str, str]:
+    """class name -> rendered source at the given options.
+
+    ``canon`` optionally normalises each class source before
+    comparison (the generated-code auditor passes an AST dump so the
+    diff sees code structure, not text)."""
     report = template.render(opts, package="xcut")
-    return {c.name: c.source for c in report.classes}
+    if canon is None:
+        return {c.name: c.source for c in report.classes}
+    return {c.name: canon(c.source) for c in report.classes}
 
 
 def empirical_matrix(template: PatternTemplate,
                      base: Optional[Mapping[str, object]] = None,
-                     extra_bases: Tuple[Mapping[str, object], ...] = ()) -> CrosscutMatrix:
+                     extra_bases: Tuple[Mapping[str, object], ...] = (),
+                     canon=None) -> CrosscutMatrix:
     """Generate-and-diff crosscut analysis.
 
     ``base`` should enable every optional class (so that existence
@@ -80,10 +88,13 @@ def empirical_matrix(template: PatternTemplate,
     the thread pool cannot be turned off).  ``extra_bases`` supplies
     additional legal starting points; results merge cell-wise with
     ``O`` dominating ``+`` dominating blank.
+
+    ``canon`` normalises class sources before diffing (see
+    :func:`_snapshot`).
     """
-    matrix = _empirical_from(template, base)
+    matrix = _empirical_from(template, base, canon=canon)
     for extra in extra_bases:
-        other = _empirical_from(template, extra)
+        other = _empirical_from(template, extra, canon=canon)
         for name in other.class_names:
             if name not in matrix.cells:
                 continue  # report classes of the primary base only
@@ -96,9 +107,10 @@ def empirical_matrix(template: PatternTemplate,
 
 
 def _empirical_from(template: PatternTemplate,
-                    base: Optional[Mapping[str, object]]) -> CrosscutMatrix:
+                    base: Optional[Mapping[str, object]],
+                    canon=None) -> CrosscutMatrix:
     base_opts = template.configure(base)
-    base_classes = _snapshot(template, base_opts)
+    base_classes = _snapshot(template, base_opts, canon=canon)
     option_keys = [s.key for s in base_opts.specs]
     matrix = CrosscutMatrix(class_names=list(base_classes),
                             option_keys=option_keys)
@@ -115,7 +127,7 @@ def _empirical_from(template: PatternTemplate,
                 template.validate(toggled)
             except Exception:
                 continue  # combination rejected by template constraints
-            variant = _snapshot(template, toggled)
+            variant = _snapshot(template, toggled, canon=canon)
             for name in base_classes:
                 base_src = base_classes[name]
                 var_src = variant.get(name)

@@ -1,0 +1,106 @@
+"""Docstring-coverage ratchet (a dependency-free ``interrogate``).
+
+Correctness tooling is only as good as its explanations: the CI gate
+requires that at least a ratcheted fraction of the public surface under
+``src/repro/lint/`` and ``src/repro/runtime/`` carries a docstring.
+Counted objects are modules, classes, and functions/methods; nested
+functions and synthesised lambdas are skipped, as is ``__init__`` when
+its class is already documented (the class docstring is the
+constructor's contract).
+
+The floor only ever goes up: raise it when coverage grows, never lower
+it to admit an under-documented change.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["CoverageReport", "measure", "coverage_findings"]
+
+
+@dataclass
+class CoverageReport:
+    """Counts plus the list of undocumented definitions."""
+
+    total: int = 0
+    documented: int = 0
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def percent(self) -> float:
+        """Documented fraction as a percentage (100.0 when empty)."""
+        return 100.0 * self.documented / self.total if self.total else 100.0
+
+
+def _count_node(report: CoverageReport, node, where: str,
+                class_documented: bool) -> None:
+    """Tally one definition, honouring the documented-``__init__`` exemption."""
+    has_doc = ast.get_docstring(node) is not None
+    if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == "__init__" and class_documented and not has_doc):
+        return  # the class docstring covers its constructor
+    report.total += 1
+    if has_doc:
+        report.documented += 1
+    else:
+        report.missing.append(where)
+
+
+def _walk_definitions(report: CoverageReport, body, prefix: str,
+                      class_documented: bool = False) -> None:
+    """Recursively tally classes and functions/methods in ``body``."""
+    for node in body:
+        if isinstance(node, ast.ClassDef):
+            where = f"{prefix}.{node.name}"
+            _count_node(report, node, where, False)
+            _walk_definitions(report, node.body, where,
+                              ast.get_docstring(node) is not None)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _count_node(report, node, f"{prefix}.{node.name}",
+                        class_documented)
+            # nested defs are implementation detail: not counted
+
+
+def measure(paths: Iterable[str]) -> CoverageReport:
+    """Docstring coverage over files and directories of ``*.py``."""
+    report = CoverageReport()
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, _dirs, names in os.walk(path):
+                files.extend(os.path.join(dirpath, n)
+                             for n in sorted(names) if n.endswith(".py"))
+        else:
+            files.append(path)
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            tree = ast.parse(fh.read(), filename=path)
+        module_label = os.path.basename(path)
+        _count_node(report, tree, module_label, False)
+        _walk_definitions(report, tree.body, module_label)
+    return report
+
+
+def coverage_findings(paths: Iterable[str], fail_under: float
+                      ) -> Tuple[CoverageReport, List[Finding]]:
+    """The gate: one finding when coverage falls below the ratchet."""
+    report = measure(paths)
+    findings: List[Finding] = []
+    if report.percent < fail_under:
+        worst = "\n".join(report.missing[:20])
+        findings.append(Finding(
+            kind="docstrings",
+            ident="docstrings:ratchet",
+            location=", ".join(str(p) for p in paths),
+            message=(f"docstring coverage {report.percent:.1f}% is below "
+                     f"the {fail_under:.0f}% ratchet "
+                     f"({report.documented}/{report.total} documented)"),
+            detail=f"first undocumented definitions:\n{worst}",
+        ))
+    return report, findings

@@ -1,0 +1,70 @@
+"""The common currency of the correctness plane: findings.
+
+Every analysis (race detector, blocking-call lint, generated-code
+auditor, docstring ratchet) reports :class:`Finding` objects.  A
+finding carries a *stable identifier* — the key the baseline file
+suppresses on — separate from its human-readable location and message,
+so a justified suppression survives line-number churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["Finding", "render_findings", "split_suppressed"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reportable defect candidate.
+
+    ``kind`` names the analysis (``race`` / ``blocking`` / ``audit`` /
+    ``docstrings``); ``ident`` is the stable suppression key (always
+    prefixed with the kind, e.g. ``race:EventProcessor.processed``);
+    ``location`` is a clickable ``path:line`` or a descriptive anchor;
+    ``detail`` holds multi-line evidence (stacks, call paths).
+    """
+
+    kind: str
+    ident: str
+    location: str
+    message: str
+    detail: str = ""
+
+    def render(self) -> str:
+        """One finding as a report block (header line + indented detail)."""
+        head = f"[{self.kind}] {self.location}: {self.message}  ({self.ident})"
+        if not self.detail:
+            return head
+        body = "\n".join("    " + line for line in self.detail.splitlines())
+        return f"{head}\n{body}"
+
+
+def render_findings(findings: Sequence[Finding], title: str = "") -> str:
+    """Render a finding list as the report ``python -m repro.lint`` prints."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for finding in findings:
+        lines.append(finding.render())
+    if not findings:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def split_suppressed(findings: Iterable[Finding], baseline
+                     ) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (live, suppressed) against a baseline.
+
+    ``baseline`` is anything with a ``suppressed(ident) -> bool``
+    method (``None`` suppresses nothing).
+    """
+    live: List[Finding] = []
+    quiet: List[Finding] = []
+    for finding in findings:
+        if baseline is not None and baseline.suppressed(finding.ident):
+            quiet.append(finding)
+        else:
+            live.append(finding)
+    return live, quiet

@@ -18,14 +18,20 @@ Design points:
 * **Null objects.**  :data:`NULL_REGISTRY` / :data:`NULL_METRIC` keep the
   O11=No path branch-free: every recording call is a no-op method on a
   singleton, never an ``if enabled`` check.
+* **Race-tracked.**  Metric locks come from
+  :func:`repro.lint.locks.make_lock` and the shared fields carry
+  :func:`~repro.lint.locks.access` annotations, so the tier-1 suite can
+  run under the Eraser-style lockset detector
+  (``REPRO_RACE_DETECTOR=1``) and prove the locking discipline holds.
 """
 
 from __future__ import annotations
 
 import bisect
 import math
-import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.locks import access, make_lock
 
 __all__ = [
     "Counter",
@@ -53,18 +59,21 @@ class Counter:
     __slots__ = ("_lock", "_value")
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = make_lock("Counter")
         self._value = 0
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
         with self._lock:
+            access(self, "_value")
             self._value += amount
 
     @property
     def value(self):
-        return self._value
+        with self._lock:
+            access(self, "_value", write=False)
+            return self._value
 
 
 class Gauge:
@@ -74,24 +83,29 @@ class Gauge:
     __slots__ = ("_lock", "_value")
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = make_lock("Gauge")
         self._value = 0.0
 
     def set(self, value: float) -> None:
         with self._lock:
+            access(self, "_value")
             self._value = value
 
     def inc(self, amount: float = 1.0) -> None:
         with self._lock:
+            access(self, "_value")
             self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         with self._lock:
+            access(self, "_value")
             self._value -= amount
 
     @property
     def value(self):
-        return self._value
+        with self._lock:
+            access(self, "_value", write=False)
+            return self._value
 
 
 class Histogram:
@@ -116,7 +130,7 @@ class Histogram:
             raise ValueError("bucket bounds must be strictly increasing")
         if math.isinf(bounds[-1]):
             bounds.pop()
-        self._lock = threading.Lock()
+        self._lock = make_lock("Histogram")
         self.bounds: Tuple[float, ...] = tuple(bounds)
         self._counts = [0] * (len(bounds) + 1)   # final slot = +Inf
         self._count = 0
@@ -127,6 +141,7 @@ class Histogram:
     def observe(self, value: float) -> None:
         idx = bisect.bisect_left(self.bounds, value)
         with self._lock:
+            access(self, "_counts")
             self._counts[idx] += 1
             self._count += 1
             self._sum += value
@@ -137,17 +152,22 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            access(self, "_counts", write=False)
+            return self._count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            access(self, "_counts", write=False)
+            return self._sum
 
     def quantile(self, q: float) -> Optional[float]:
         """Estimated q-quantile (0 <= q <= 1); None while empty."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         with self._lock:
+            access(self, "_counts", write=False)
             counts = list(self._counts)
             total = self._count
             lo_seen, hi_seen = self._min, self._max
@@ -171,6 +191,7 @@ class Histogram:
 
     def snapshot(self) -> dict:
         with self._lock:
+            access(self, "_counts", write=False)
             counts = list(self._counts)
             total, total_sum = self._count, self._sum
             lo, hi = self._min, self._max
@@ -200,7 +221,7 @@ class MetricFamily:
         self.kind = kind
         self.label_names = label_names
         self._factory = factory
-        self._lock = threading.Lock()
+        self._lock = make_lock("MetricFamily")
         self._children: Dict[Tuple[str, ...], object] = {}
 
     def labels(self, **labels):
@@ -210,14 +231,20 @@ class MetricFamily:
                 f"metric {self.name!r} takes labels {self.label_names}, "
                 f"got {tuple(labels)}")
         key = tuple(str(labels[n]) for n in self.label_names)
+        # Lock-free fast path: a dict probe is GIL-atomic and children
+        # are never removed, so a stale miss only costs the slow path.
+        # Intentional discipline violation — suppressed in the baseline.
+        access(self, "_children", write=False)
         child = self._children.get(key)
         if child is None:
             with self._lock:
+                access(self, "_children")
                 child = self._children.setdefault(key, self._factory())
         return child
 
     def children(self) -> List[Tuple[Dict[str, str], object]]:
         with self._lock:
+            access(self, "_children", write=False)
             items = list(self._children.items())
         return [(dict(zip(self.label_names, key)), metric)
                 for key, metric in sorted(items)]
@@ -229,12 +256,13 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = make_lock("MetricsRegistry")
         self._families: Dict[str, MetricFamily] = {}
 
     def _register(self, name: str, help: str, kind: str,
                   label_names: Tuple[str, ...], factory):
         with self._lock:
+            access(self, "_families")
             family = self._families.get(name)
             if family is None:
                 family = MetricFamily(name, help, kind, label_names, factory)
@@ -264,10 +292,12 @@ class MetricsRegistry:
     def collect(self) -> List[MetricFamily]:
         """Families in registration order (exposition walks this)."""
         with self._lock:
+            access(self, "_families", write=False)
             return list(self._families.values())
 
     def get(self, name: str) -> Optional[MetricFamily]:
         with self._lock:
+            access(self, "_families", write=False)
             return self._families.get(name)
 
     def value(self, name: str, **labels):
@@ -281,6 +311,7 @@ class MetricsRegistry:
         if len(key) != len(family.label_names):
             return None
         with family._lock:
+            access(family, "_children", write=False)
             child = family._children.get(key)
         if child is None:
             return None

@@ -99,6 +99,7 @@ class Acceptor:
                 self.source.register(handle)
 
     def close(self) -> None:
+        """Deregister and close the listen handle (idempotent)."""
         if self.listen.closed:  # drain() closes first; stop() closes again
             return
         self.source.deregister(self.listen)
@@ -120,6 +121,7 @@ class Connector:
         self.connected = 0
 
     def connect(self, host: str, port: int) -> SocketHandle:
+        """Establish one outbound connection; returns its non-blocking handle."""
         sock = socket.create_connection((host, port), timeout=self.timeout)
         self.connected += 1
         return self.handle_cls(sock)

@@ -27,10 +27,11 @@ the fault-injection handles — works unchanged against either buffer.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from itertools import islice
 from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.locks import access, make_lock
 
 __all__ = ["BufferPool", "BufferPoolStats", "OutBuffer", "PooledBuffer",
            "segment_bytes", "DEFAULT_SIZE_CLASSES"]
@@ -41,11 +42,18 @@ DEFAULT_SIZE_CLASSES = (1024, 4096, 16384, 65536)
 
 
 class BufferPoolStats:
-    """Acquire/release accounting; ``hit_rate`` is the sampler gauge."""
+    """Acquire/release accounting; ``hit_rate`` is the sampler gauge.
 
-    __slots__ = ("hits", "misses", "releases", "discards")
+    Counter updates happen inside the owning pool's critical sections,
+    so the stats object *shares* the pool's lock — readers
+    (``hit_rate``, ``snapshot``, the O11 sampler) take it too, instead
+    of the old torn-read-prone unlocked reads.
+    """
 
-    def __init__(self):
+    __slots__ = ("_lock", "hits", "misses", "releases", "discards")
+
+    def __init__(self, lock=None):
+        self._lock = lock if lock is not None else make_lock("BufferPoolStats")
         self.hits = 0
         self.misses = 0
         self.releases = 0
@@ -53,21 +61,30 @@ class BufferPoolStats:
 
     @property
     def acquires(self) -> int:
-        return self.hits + self.misses
+        """Total acquires (hits + misses)."""
+        with self._lock:
+            access(self, "hits", write=False)
+            return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        total = self.acquires
-        return self.hits / total if total else 0.0
+        with self._lock:
+            access(self, "hits", write=False)
+            hits, total = self.hits, self.hits + self.misses
+        return hits / total if total else 0.0
 
     def snapshot(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "releases": self.releases,
-            "discards": self.discards,
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            access(self, "hits", write=False)
+            snap = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "releases": self.releases,
+                "discards": self.discards,
+            }
+        total = snap["hits"] + snap["misses"]
+        snap["hit_rate"] = snap["hits"] / total if total else 0.0
+        return snap
 
 
 class PooledBuffer:
@@ -90,9 +107,11 @@ class PooledBuffer:
 
     @property
     def capacity(self) -> int:
+        """The backing storage size in bytes."""
         return len(self.data)
 
     def write(self, payload) -> "PooledBuffer":
+        """Append ``payload``; raises when it would overflow the buffer."""
         end = self.used + len(payload)
         if end > len(self.data):
             raise ValueError(
@@ -102,9 +121,11 @@ class PooledBuffer:
         return self
 
     def view(self) -> memoryview:
+        """A memoryview over the written prefix (no copy)."""
         return memoryview(self.data)[:self.used]
 
     def release(self) -> None:
+        """Hand the buffer back to its pool, if it came from one."""
         if self.pool is not None:
             self.pool.release(self)
 
@@ -129,19 +150,23 @@ class BufferPool:
             raise ValueError("size classes must be positive")
         self.per_class = int(per_class)
         self._free = {c: [] for c in self.classes}
-        self._lock = threading.Lock()
-        self.stats = BufferPoolStats()
+        self._lock = make_lock("BufferPool")
+        self.stats = BufferPoolStats(self._lock)
 
     def size_class(self, size: int) -> Optional[int]:
+        """The smallest size class >= ``size``; None when oversize."""
         for c in self.classes:
             if size <= c:
                 return c
         return None
 
     def acquire(self, size: int) -> PooledBuffer:
+        """Check out a buffer with room for ``size`` bytes."""
         cls = self.size_class(size)
         if cls is not None:
             with self._lock:
+                access(self, "_free")
+                access(self.stats, "hits")
                 free = self._free[cls]
                 if free:
                     self.stats.hits += 1
@@ -152,13 +177,17 @@ class BufferPool:
                 self.stats.misses += 1
             return PooledBuffer(self, cls)
         with self._lock:
+            access(self.stats, "hits")
             self.stats.misses += 1
         return PooledBuffer(self, size)
 
     def release(self, buf: PooledBuffer) -> None:
+        """Return a buffer to its free list (discarded over ``per_class``)."""
         if buf.pool is not self:
             raise ValueError("buffer belongs to a different pool")
         with self._lock:
+            access(self, "_free")
+            access(self.stats, "hits")
             if not buf.in_use:
                 raise ValueError("double release of pooled buffer")
             buf.in_use = False
@@ -170,7 +199,9 @@ class BufferPool:
                 self.stats.discards += 1
 
     def free_count(self) -> int:
+        """Buffers currently sitting in the free lists."""
         with self._lock:
+            access(self, "_free", write=False)
             return sum(len(free) for free in self._free.values())
 
 
@@ -241,9 +272,11 @@ class OutBuffer:
 
     # -- bytearray-compatible surface ------------------------------------
     def extend(self, data) -> None:
+        """bytearray-compatible append (snapshots mutable data)."""
         self.append_segment(data)
 
     def clear(self) -> None:
+        """Drop every segment, releasing any pooled owners."""
         while self._segments:
             _view, owner = self._segments.popleft()
             if owner is not None:
@@ -251,20 +284,25 @@ class OutBuffer:
         self._length = 0
 
     def __len__(self) -> int:
+        """Unsent bytes across all segments."""
         return self._length
 
     def __bool__(self) -> bool:
+        """True while any output remains queued."""
         return self._length > 0
 
     def __bytes__(self) -> bytes:
+        """Copy out the whole remaining output (legacy consumers)."""
         return b"".join(bytes(view) for view, _owner in self._segments)
 
     def __getitem__(self, index):
+        """Slice access over a copied snapshot (``buf[:n]``)."""
         if isinstance(index, slice):
             return bytes(self)[index]
         raise TypeError("OutBuffer supports slice access only")
 
     def __delitem__(self, index) -> None:
+        """``del buf[:n]``: consume ``n`` leading bytes, as after a send."""
         if not isinstance(index, slice) or index.step not in (None, 1) \
                 or index.start not in (None, 0):
             raise TypeError("OutBuffer supports only del buf[:n]")

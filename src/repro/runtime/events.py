@@ -80,41 +80,56 @@ class Event:
         self.created_at = created_at
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Debugging representation: kind, id, handle, priority."""
         return (f"<{type(self).__name__} #{self.event_id} "
                 f"handle={self.handle!r} prio={self.priority}>")
 
 
 class ReadableEvent(Event):
+    """A socket has data to read."""
+
     kind = EventKind.READABLE
     __slots__ = ()
 
 
 class WritableEvent(Event):
+    """A socket can accept more output."""
+
     kind = EventKind.WRITABLE
     __slots__ = ()
 
 
 class AcceptEvent(Event):
+    """A new connection is pending on a listen socket."""
+
     kind = EventKind.ACCEPT
     __slots__ = ()
 
 
 class ConnectEvent(Event):
+    """An outbound connect finished."""
+
     kind = EventKind.CONNECT
     __slots__ = ()
 
 
 class TimerEvent(Event):
+    """A scheduled timer fired."""
+
     kind = EventKind.TIMER
     __slots__ = ()
 
 
 class UserEvent(Event):
+    """An application-defined event."""
+
     kind = EventKind.USER
     __slots__ = ()
 
 
 class ShutdownEvent(Event):
+    """The server is stopping."""
+
     kind = EventKind.SHUTDOWN
     __slots__ = ()
 
@@ -136,6 +151,7 @@ class CompletionEvent(Event):
 
     @property
     def ok(self) -> bool:
+        """True when the operation completed without error."""
         return self.error is None
 
     def complete(self) -> None:

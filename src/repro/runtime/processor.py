@@ -17,6 +17,7 @@ import threading
 import time
 from typing import Callable, Optional
 
+from repro.lint.locks import access, make_lock
 from repro.runtime.events import Event
 from repro.runtime.scheduler import FifoEventQueue, QuotaPriorityQueue
 
@@ -52,7 +53,7 @@ class EventProcessor:
         self.error_hook = error_hook
         self._initial_threads = threads
         self._threads: list = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("EventProcessor")
         self._running = False
         self._busy = 0
         self.processed = 0
@@ -62,7 +63,9 @@ class EventProcessor:
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
+        """Mark running and spawn the initial worker pool (idempotent)."""
         with self._lock:
+            access(self, "_running")
             if self._running:
                 return
             self._running = True
@@ -73,6 +76,8 @@ class EventProcessor:
         """Stop workers.  With ``drain`` the queue is allowed to empty
         first; otherwise workers exit after their current event."""
         with self._lock:
+            access(self, "_running")
+            access(self, "_threads", write=False)
             if not self._running:
                 return
             self._running = False
@@ -87,18 +92,26 @@ class EventProcessor:
         for t in workers:
             t.join(timeout=timeout)
         with self._lock:
+            access(self, "_threads")
             self._threads.clear()
 
     # -- pool management -----------------------------------------------------
     def _spawn(self) -> None:
-        t = threading.Thread(target=self._worker, daemon=True,
-                             name=f"{self.name}-{len(self._threads)}")
+        # The worker index for the thread name must come from inside the
+        # critical section — reading len(self._threads) outside it could
+        # hand two concurrent spawns the same name.
+        """Create, record and start one worker thread."""
         with self._lock:
+            access(self, "_threads")
+            t = threading.Thread(target=self._worker, daemon=True,
+                                 name=f"{self.name}-{len(self._threads)}")
             self._threads.append(t)
         t.start()
 
     def add_thread(self) -> None:
+        """Grow the pool by one worker (a controller grow decision)."""
         with self._lock:
+            access(self, "_running", write=False)
             if not self._running:
                 raise RuntimeError("processor not running")
         self._spawn()
@@ -113,6 +126,8 @@ class EventProcessor:
         Returns how many were removed so a supervisor can spawn that
         many replacements; a no-op once the pool is stopped."""
         with self._lock:
+            access(self, "_running", write=False)
+            access(self, "_threads")
             if not self._running:
                 return 0
             dead = [t for t in self._threads if not t.is_alive()]
@@ -122,60 +137,93 @@ class EventProcessor:
 
     @property
     def thread_count(self) -> int:
+        """Workers currently alive."""
         with self._lock:
+            access(self, "_threads", write=False)
             return len([t for t in self._threads if t.is_alive()])
 
     @property
     def queue_length(self) -> int:
+        """Events waiting in the queue."""
         return len(self.queue)
 
     @property
     def busy_count(self) -> int:
+        """Workers currently inside a handler."""
         with self._lock:
+            access(self, "_busy", write=False)
             return self._busy
 
     # -- work ---------------------------------------------------------------
     def submit(self, event: Event) -> None:
+        """Queue one event (priority honoured by O8 queues)."""
         self.queue.push(event, priority=getattr(event, "priority", 0))
 
     def _worker(self) -> None:
+        """Thread body: run the loop, record a death on BaseException."""
         try:
             self._loop()
         except BaseException as exc:  # noqa: BLE001 - a poison event killed us
             # Exceptions are survived in _loop; only a BaseException gets
             # here.  Record the death and exit quietly — the thread stays
             # in ``_threads`` until prune_dead() so a supervisor sees it.
-            self.last_death = exc
+            # ``last_death`` belongs inside the critical section too: two
+            # dying workers otherwise race on it and a supervisor can read
+            # a death count that disagrees with the recorded exception.
             with self._lock:
+                access(self, "last_death")
+                access(self, "worker_deaths")
+                self.last_death = exc
                 self.worker_deaths += 1
 
     def _loop(self) -> None:
+        """Pop-and-handle until retired; handler exceptions are survived."""
         while True:
             item = self.queue.pop(timeout=0.25)
             if isinstance(item, _Retire):
                 with self._lock:
+                    access(self, "_threads")
                     me = threading.current_thread()
                     if me in self._threads:
                         self._threads.remove(me)
                 return
             if item is None:
                 with self._lock:
+                    access(self, "_running", write=False)
                     running = self._running
                 if not running:
                     return
                 continue
             with self._lock:
+                access(self, "_busy")
                 self._busy += 1
+            # ``processed``/``errors`` are shared with every other worker
+            # and with status-page readers; incrementing them outside the
+            # lock (as this loop once did) loses updates under contention.
+            # The handler runs unlocked; only the accounting is locked.
+            error: Optional[Exception] = None
+            ok = False
             try:
                 self.handler(item)
-                self.processed += 1
+                ok = True
             except Exception as exc:  # noqa: BLE001 - server must survive handlers
-                self.errors += 1
-                if self.error_hook is not None:
-                    self.error_hook(item, exc)
+                error = exc
             finally:
+                # a BaseException (worker death) reaches this finally with
+                # ok False and error None: busy is repaired, neither
+                # counter moves — the event was neither processed nor a
+                # survived handler error.
                 with self._lock:
+                    access(self, "_busy")
                     self._busy -= 1
+                    if ok:
+                        access(self, "processed")
+                        self.processed += 1
+                    elif error is not None:
+                        access(self, "errors")
+                        self.errors += 1
+            if error is not None and self.error_hook is not None:
+                self.error_hook(item, error)
 
 class ProcessorController:
     """Dynamic thread allocation (O5=Dynamic).
@@ -203,6 +251,7 @@ class ProcessorController:
         self.decisions: list = []
 
     def start(self) -> None:
+        """Start the sampling thread (idempotent)."""
         if self._thread is not None:
             return
         self._thread = threading.Thread(target=self._run, daemon=True,
@@ -210,12 +259,14 @@ class ProcessorController:
         self._thread.start()
 
     def stop(self) -> None:
+        """Stop and join the sampling thread."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
 
     def _run(self) -> None:
+        """Sampling loop: one :meth:`evaluate` per interval."""
         while not self._stop.wait(self.interval):
             self.evaluate()
 

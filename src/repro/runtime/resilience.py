@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.lint.locks import access, make_lock
 from repro.obs.registry import NULL_METRIC
 from repro.runtime.tracing import NULL_LOG
 
@@ -117,6 +118,7 @@ class DeadlineMonitor:
 
     # -- scanning -----------------------------------------------------------
     def _violation(self, conn, now: float) -> Optional[str]:
+        """The stage ``conn`` has blown, or None within deadlines."""
         p = self.policy
         if p.header is not None:
             started = getattr(conn, "read_started", None)
@@ -153,6 +155,7 @@ class DeadlineMonitor:
 
     # -- background thread ----------------------------------------------------
     def start(self) -> None:
+        """Start the scanning thread (idempotent)."""
         if self._thread is not None:
             return
         self._thread = threading.Thread(target=self._run, daemon=True,
@@ -160,12 +163,14 @@ class DeadlineMonitor:
         self._thread.start()
 
     def stop(self) -> None:
+        """Stop and join the scanning thread."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
 
     def _run(self) -> None:
+        """Scanning loop: one :meth:`scan` per interval."""
         while not self._stop.wait(self.interval):
             self.scan()
 
@@ -208,6 +213,7 @@ class WorkerSupervisor:
         return dead
 
     def start(self) -> None:
+        """Start the supervision thread (idempotent)."""
         if self._thread is not None:
             return
         self._thread = threading.Thread(target=self._run, daemon=True,
@@ -215,12 +221,14 @@ class WorkerSupervisor:
         self._thread.start()
 
     def stop(self) -> None:
+        """Stop and join the supervision thread."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
 
     def _run(self) -> None:
+        """Supervision loop: one :meth:`check` per interval."""
         while not self._stop.wait(self.interval):
             self.check()
 
@@ -255,11 +263,12 @@ class EventQuarantine:
         self.quarantined: list = []
         self.retries = 0
         self._attempts: dict = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("EventQuarantine")
 
     @classmethod
     def attach(cls, processor, max_retries: int = 2,
                counter=NULL_METRIC, log=NULL_LOG) -> "EventQuarantine":
+        """Install on ``processor``, chaining its prior ``error_hook``."""
         quarantine = cls(max_retries=max_retries, resubmit=processor.submit,
                          counter=counter, log=log,
                          fallback=processor.error_hook)
@@ -267,24 +276,33 @@ class EventQuarantine:
         return quarantine
 
     def __call__(self, event, exc: BaseException) -> None:
+        """Handle one failure: retry within budget, else quarantine."""
         if self.fallback is not None:
             self.fallback(event, exc)
         key = getattr(event, "event_id", id(event))
+        # ``retries`` and ``quarantined`` are read by status pages and
+        # written by every worker thread whose handler fails; the
+        # accounting lives inside the critical section (it used to run
+        # after it, racing other failing workers).  The resubmit itself
+        # stays outside — it takes the processor's queue lock.
         with self._lock:
+            access(self, "_attempts")
             attempts = self._attempts.get(key, 0)
             if attempts < self.max_retries and self.resubmit is not None:
                 if len(self._attempts) >= self._MAX_TRACKED:
                     self._attempts.pop(next(iter(self._attempts)))
                 self._attempts[key] = attempts + 1
+                access(self, "retries")
+                self.retries += 1
                 retry = True
             else:
                 self._attempts.pop(key, None)
+                access(self, "quarantined")
+                self.quarantined.append((event, exc))
                 retry = False
         if retry:
-            self.retries += 1
             self.resubmit(event)
             return
-        self.quarantined.append((event, exc))
         self.counter.inc()
         self.log.error(
             f"event {key} quarantined after "

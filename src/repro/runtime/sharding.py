@@ -17,11 +17,11 @@ greater than one.
 
 from __future__ import annotations
 
-import threading
 import time
 import zlib
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro.lint.locks import access, make_lock
 from repro.obs.exposition import (
     render_status_auto,
     render_status_html,
@@ -57,6 +57,7 @@ class ShardPolicy:
         self.shard_count = shard_count
 
     def pick(self, handle) -> int:
+        """The shard index for one accepted connection handle."""
         raise NotImplementedError
 
 
@@ -68,10 +69,12 @@ class RoundRobinPolicy(ShardPolicy):
     def __init__(self, shard_count: int):
         super().__init__(shard_count)
         self._next = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("RoundRobinPolicy")
 
     def pick(self, handle) -> int:
+        """Next index in strict rotation (lock-protected cursor)."""
         with self._lock:
+            access(self, "_next")
             index = self._next
             self._next = (index + 1) % self.shard_count
         return index
@@ -92,6 +95,7 @@ class LeastConnectionsPolicy(ShardPolicy):
         self.loads = list(loads)
 
     def pick(self, handle) -> int:
+        """Index of the least-loaded shard; lowest id wins ties."""
         return min(range(self.shard_count),
                    key=lambda i: (self.loads[i](), i))
 
@@ -104,6 +108,7 @@ class ConnectionHashPolicy(ShardPolicy):
     name = "connection-hash"
 
     def pick(self, handle) -> int:
+        """Stable index from the peer host's CRC32."""
         peer = getattr(handle, "name", "") or ""
         host = peer.rsplit(":", 1)[0]
         return zlib.crc32(host.encode("utf-8", "replace")) % self.shard_count
@@ -134,6 +139,7 @@ class ReactorShard(ReactorServer):
         super().__init__(hooks, config, **kwargs)
         self.shard_id = shard_id
         self.adopted = 0
+        self._adopt_lock = make_lock("ReactorShard")
 
     def _open_acceptor(self) -> None:
         """No listen socket: the accept plane feeds this shard."""
@@ -150,7 +156,9 @@ class ReactorShard(ReactorServer):
         # registration happened off the shard's dispatcher thread — kick
         # the poll loop so the handle is watched immediately
         self.socket_source.wakeup()
-        self.adopted += 1
+        with self._adopt_lock:
+            access(self, "adopted")
+            self.adopted += 1
         return conn
 
 
@@ -163,10 +171,12 @@ class _ShardGate:
         self._shards = shards
 
     def accepting(self) -> bool:
+        """True while any shard will still take a connection."""
         return any(s.overload is None or s.overload.accepting()
                    for s in self._shards)
 
     def connection_opened(self) -> None:
+        """Per-shard controllers account in ``adopt``; nothing to do."""
         pass
 
 
@@ -213,10 +223,11 @@ class ShardedReactorServer:
                       else None)
         self._started = False
         self._start_time: Optional[float] = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("ShardedReactorServer")
 
     # -- accept plane -----------------------------------------------------
     def _distribute(self, handle: SocketHandle) -> None:
+        """Place one accepted handle on a shard and adopt it there."""
         shard = self.shards[self.router.pick(handle)]
         if shard.overload is not None and not shard.overload.accepting():
             # the policy's pick is overloaded — reroute to the least
@@ -226,18 +237,23 @@ class ShardedReactorServer:
             if open_shards:
                 shard = min(open_shards,
                             key=lambda s: (len(s.container), s.shard_id))
-        self.accepted_per_shard[shard.shard_id] += 1
+        with self._lock:
+            access(self, "accepted_per_shard")
+            self.accepted_per_shard[shard.shard_id] += 1
         shard.adopt(handle)
 
     # -- lifecycle --------------------------------------------------------
     @property
     def port(self) -> int:
+        """The accept plane's bound port (server must be started)."""
         if self.listen is None:
             raise RuntimeError("server not started")
         return self.listen.port
 
     def start(self) -> None:
+        """Start every shard, then open the shared accept plane."""
         with self._lock:
+            access(self, "_started")
             if self._started:
                 return
             self._started = True
@@ -258,7 +274,9 @@ class ShardedReactorServer:
         self._start_time = time.monotonic()
 
     def stop(self) -> None:
+        """Stop the accept plane first, then every shard."""
         with self._lock:
+            access(self, "_started")
             if not self._started:
                 return
             self._started = False
@@ -275,6 +293,7 @@ class ShardedReactorServer:
         timeout = (timeout if timeout is not None
                    else self.config.drain_timeout)
         with self._lock:
+            access(self, "_started", write=False)
             started = self._started
         if not started:
             return True
@@ -299,22 +318,27 @@ class ShardedReactorServer:
     # -- inspection -------------------------------------------------------
     @property
     def open_connections(self) -> int:
+        """Open connections summed across shards."""
         return sum(len(shard.container) for shard in self.shards)
 
     def status_fields(self):
+        """Aggregated mod_status fields across all shard registries."""
         uptime = (time.monotonic() - self._start_time
                   if self._start_time is not None else None)
         return sharded_status_fields(
             [shard.registry for shard in self.shards], uptime=uptime)
 
     def status_report(self, auto: bool = False) -> str:
+        """The aggregated status page (HTML, or plain with ``auto``)."""
         fields = self.status_fields()
         return render_status_auto(fields) if auto \
             else render_status_html(fields)
 
     def __enter__(self) -> "ShardedReactorServer":
+        """Context-manager start."""
         self.start()
         return self
 
     def __exit__(self, *exc_info) -> None:
+        """Context-manager stop."""
         self.stop()

@@ -28,3 +28,36 @@ settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 def fake_clock():
     """A manually advanced monotonic clock (see ``harness.FakeClock``)."""
     return FakeClock()
+
+
+@pytest.fixture(autouse=True)
+def race_detector():
+    """Ambient Eraser lockset detector, gated on ``REPRO_RACE_DETECTOR``.
+
+    With ``REPRO_RACE_DETECTOR=1`` (the dedicated CI job) every test
+    runs under an installed :class:`repro.lint.locks.RaceDetector`:
+    the runtime's annotated shared fields feed the Eraser state machine
+    and any candidate race not suppressed by ``lint-baseline.toml``
+    fails the test with both conflicting stacks.  Without the variable
+    the fixture yields ``None`` and the suite pays one env lookup.
+    """
+    if not os.environ.get("REPRO_RACE_DETECTOR"):
+        yield None
+        return
+    from repro.lint.baseline import find_baseline
+    from repro.lint.locks import RaceDetector, active_detector
+    if active_detector() is not None:
+        # a test (or nested fixture) manages its own detector
+        yield None
+        return
+    detector = RaceDetector()
+    detector.install()
+    try:
+        yield detector
+    finally:
+        detector.uninstall()
+        findings = detector.findings(baseline=find_baseline())
+        if findings:
+            pytest.fail(
+                "race detector found unsuppressed candidate races:\n"
+                + "\n".join(f.render() for f in findings))

@@ -1,0 +1,47 @@
+"""Fixtures for the correctness-plane tests.
+
+The tier-1 suite may itself be running under the ambient race detector
+(``REPRO_RACE_DETECTOR=1`` installs one around every test).  Tests that
+install their *own* detector suspend the ambient one for the test body
+— the module-global slot holds one detector at a time by design.
+"""
+
+import os
+
+import pytest
+
+from repro.lint.locks import RaceDetector, active_detector
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+@pytest.fixture
+def fixture_path():
+    """Resolve a file name inside ``tests/lint/fixtures/``."""
+    def _path(name: str) -> str:
+        return os.path.join(FIXTURES, name)
+    return _path
+
+
+@pytest.fixture
+def no_ambient_detector():
+    """Suspend any ambient detector for the duration of the test."""
+    ambient = active_detector()
+    if ambient is not None:
+        ambient.uninstall()
+    try:
+        yield
+    finally:
+        if ambient is not None:
+            ambient.install()
+
+
+@pytest.fixture
+def fresh_detector(no_ambient_detector):
+    """A newly installed detector private to this test."""
+    detector = RaceDetector()
+    detector.install()
+    try:
+        yield detector
+    finally:
+        detector.uninstall()

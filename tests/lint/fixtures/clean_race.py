@@ -1,0 +1,34 @@
+"""Disciplined twin of ``known_race.py``: the detector must stay quiet.
+
+The same two-thread increment, but every access happens under one
+consistent :func:`~repro.lint.locks.make_lock` — the candidate lockset
+never empties, so a run reports zero findings (the no-false-positive
+half of the fixture pair).
+"""
+
+import threading
+
+from repro.lint.locks import access, make_lock
+
+
+class LockedCounter:
+    """Shared state guarded by a single consistent lock."""
+
+    def __init__(self):
+        self._lock = make_lock("LockedCounter")
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            access(self, "value")
+            self.value += 1
+
+
+def run():
+    counter = LockedCounter()
+    counter.bump()
+    worker = threading.Thread(target=counter.bump, name="second-writer")
+    worker.start()
+    worker.join()
+    counter.bump()
+    return counter

@@ -1,0 +1,17 @@
+"""Seeded reactor blocking call: the lint MUST flag this file.
+
+``on_readable`` is a reactor-loop root; it reaches ``time.sleep``
+through a helper, so the finding must carry the two-hop call path.
+"""
+
+import time
+
+
+class SleepyHandler:
+    """A reactor callback that stalls the loop through a helper."""
+
+    def on_readable(self, handle):
+        self._refill(handle)
+
+    def _refill(self, handle):
+        time.sleep(0.25)  # the seeded violation

@@ -1,0 +1,31 @@
+"""Seeded lockset violation: the race detector MUST flag this file.
+
+Two threads write an annotated field with no lock held, so the Eraser
+candidate lockset is empty by the second access.  Drive it with
+``python -m repro.lint race tests/lint/fixtures/known_race.py`` or the
+test suite; ``run()`` is the scenario entry point.
+"""
+
+import threading
+
+from repro.lint.locks import access
+
+
+class UnlockedCounter:
+    """Shared state updated with no locking discipline at all."""
+
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        access(self, "value")
+        self.value += 1
+
+
+def run():
+    counter = UnlockedCounter()
+    counter.bump()  # main thread: virgin -> exclusive
+    worker = threading.Thread(target=counter.bump, name="second-writer")
+    worker.start()
+    worker.join()   # second thread: shared-modified with an empty lockset
+    return counter

@@ -1,0 +1,66 @@
+"""Docstring-coverage ratchet tests."""
+
+from repro.lint.docstrings import coverage_findings, measure
+
+
+SAMPLE = (
+    '"""Module doc."""\n'
+    "class A:\n"
+    '    """Class doc."""\n'
+    "    def __init__(self):\n"
+    "        pass\n"          # exempt: the class docstring covers it
+    "    def m(self):\n"
+    "        pass\n"          # undocumented
+    "def f():\n"
+    '    """Function doc."""\n'
+)
+
+
+def test_measure_counts_and_exemptions(tmp_path):
+    path = tmp_path / "x.py"
+    path.write_text(SAMPLE)
+    report = measure([str(path)])
+    # module, A, A.m, f counted; A.__init__ exempt under a documented class
+    assert report.total == 4
+    assert report.documented == 3
+    assert report.missing == ["x.py.A.m"]
+    assert report.percent == 75.0
+
+
+def test_undocumented_init_counts_when_class_is_undocumented(tmp_path):
+    path = tmp_path / "y.py"
+    path.write_text("class B:\n    def __init__(self):\n        pass\n")
+    report = measure([str(path)])
+    assert report.total == 3  # module, B, B.__init__
+    assert report.documented == 0
+
+
+def test_nested_defs_not_counted(tmp_path):
+    path = tmp_path / "z.py"
+    path.write_text(
+        '"""doc"""\n'
+        "def outer():\n"
+        '    """doc"""\n'
+        "    def inner():\n"
+        "        pass\n")
+    report = measure([str(path)])
+    assert report.total == 2  # module + outer; inner is implementation
+    assert report.documented == 2
+
+
+def test_ratchet_finding_below_threshold(tmp_path):
+    path = tmp_path / "x.py"
+    path.write_text(SAMPLE)
+    report, findings = coverage_findings([str(path)], fail_under=80.0)
+    assert report.percent == 75.0
+    assert [f.ident for f in findings] == ["docstrings:ratchet"]
+    assert "A.m" in findings[0].detail
+    _report, findings = coverage_findings([str(path)], fail_under=70.0)
+    assert findings == []
+
+
+def test_gated_trees_meet_the_shipped_ratchet():
+    # the CI gate: src/repro/lint + src/repro/runtime at >= 60%
+    from repro.lint.__main__ import DOCSTRING_RATCHET, _docstring_paths
+    report = measure(_docstring_paths())
+    assert report.percent >= DOCSTRING_RATCHET
