@@ -11,6 +11,7 @@ Two measurements:
   is visible.
 """
 
+import os
 import socket
 import threading
 
@@ -20,8 +21,12 @@ from repro.analysis import render_table
 from repro.servers.cops_http import build_cops_http
 from repro.workload import SpecWebFileSet
 
-CLIENTS = 4
-REQUESTS_PER_CLIENT = 40
+#: ``python -m repro.bench --smoke`` sets this: a shrunk workload whose
+#: absolute times are meaningless but whose shard-speedup ratio still
+#: moves when sharding breaks.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CLIENTS = 2 if SMOKE else 4
+REQUESTS_PER_CLIENT = 5 if SMOKE else 40
 
 
 def materialise_fileset(root, total_mb=2.0, seed=3):

@@ -9,6 +9,7 @@ through real sockets (the BENCH_zero_copy.json artifact CI uploads)
 and asserts the ratio the issue requires.
 """
 
+import os
 import socket
 import threading
 import time
@@ -19,8 +20,12 @@ from repro.analysis import render_table
 from repro.experiments.fig3_zerocopy import materialise_large_fileset
 from repro.servers.cops_http import build_cops_http
 
+#: ``python -m repro.bench --smoke`` sets this: a shrunk workload whose
+#: absolute times are meaningless but whose buffered-vs-zerocopy ratio
+#: still collapses if the O15 path starts copying again.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 CLIENTS = 2
-REQUESTS_PER_CLIENT = 25
+REQUESTS_PER_CLIENT = 4 if SMOKE else 25
 SPEEDUP_FLOOR = 1.3
 #: Client receive window: a WAN-ish client that cannot absorb a 2 MB
 #: body in one kernel gulp, so the server sees many partial sends —

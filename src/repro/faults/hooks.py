@@ -53,7 +53,9 @@ class FaultyHooks:
 
     # -- the faulted step ----------------------------------------------------
     def handle(self, request, conn):
-        kind = self.schedule.decide("handle", self.stream)
+        kind = self.schedule.decide(
+            "handle", self.stream,
+            trace_id=getattr(conn.handle, "trace_id", 0))
         if kind == "crash":
             raise WorkerCrash(f"injected worker crash on {conn.handle.name}")
         if kind == "error":

@@ -67,6 +67,12 @@ class FaultPlane:
         Returns the server for chaining.  Hook faults are separate —
         pass ``plane.wrap_hooks(hooks)`` when building the server.
         """
+        # Injected-fault events should land in the target server's own
+        # flight ring (next to its lifecycle events), not the process
+        # global — when the server exposes one.
+        flight = getattr(server, "flight", None)
+        if flight is not None:
+            self.schedule.flight = flight
         sharding = getattr(server, "sharding", None)
         reactor = getattr(server, "reactor", None)
         if sharding is not None and reactor is not None:

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 import random
 
+from repro.obs.flight import GLOBAL as GLOBAL_FLIGHT
+
 __all__ = ["FaultSpec", "FaultAction", "FaultSchedule"]
 
 
@@ -89,6 +91,11 @@ class FaultSchedule:
         self.spec = spec
         self.seed = seed
         self._thresholds = spec.thresholds()
+        #: flight recorder that sees every injected (non-ok) decision, so
+        #: a fault run's post-mortem dump carries the injections inline
+        #: with the lifecycle events.  ``FaultPlane.install`` repoints
+        #: this at the target server's own recorder.
+        self.flight = GLOBAL_FLIGHT
         self._lock = threading.Lock()
         self._rngs: Dict[str, random.Random] = {}
         self._seq: Dict[str, int] = {}
@@ -106,11 +113,13 @@ class FaultSchedule:
         return f"{prefix}-{n}"
 
     # -- decisions -----------------------------------------------------------
-    def decide(self, op: str, stream: str) -> str:
+    def decide(self, op: str, stream: str, trace_id: int = 0) -> str:
         """Draw the next fault decision for ``op`` on ``stream``.
 
         Returns the fault kind (``"reset"``, ``"eagain"``, ``"partial"``,
-        ``"error"``, ``"crash"``) or ``"ok"``.
+        ``"error"``, ``"crash"``) or ``"ok"``.  Injected decisions are
+        mirrored into the flight recorder, stamped with the connection's
+        ``trace_id`` when the caller knows it.
         """
         with self._lock:
             rng = self._rngs.get(stream)
@@ -129,6 +138,10 @@ class FaultSchedule:
             self._seq[stream] = seq + 1
             self._log.append(FaultAction(seq=seq, stream=stream,
                                          op=op, kind=kind))
+        if kind != "ok":
+            # outside the schedule lock: the recorder interns category
+            # codes under its own lock and nesting the two is pointless
+            self.flight.record("fault", f"{stream} {op} {kind}", trace_id)
         return kind
 
     # -- inspection -----------------------------------------------------------

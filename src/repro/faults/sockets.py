@@ -41,7 +41,8 @@ def faulty_handle_cls(schedule: FaultSchedule, base: type = SocketHandle,
             self.fault_stream = schedule.next_stream(stream_prefix)
 
         def try_recv(self, max_bytes: int = 65536):
-            kind = schedule.decide("recv", self.fault_stream)
+            kind = schedule.decide("recv", self.fault_stream,
+                                   trace_id=getattr(self, "trace_id", 0))
             if kind == "eagain":
                 return None
             if kind == "reset":
@@ -55,7 +56,8 @@ def faulty_handle_cls(schedule: FaultSchedule, base: type = SocketHandle,
         def try_send(self) -> int:
             if not self.out_buffer:
                 return 0
-            kind = schedule.decide("send", self.fault_stream)
+            kind = schedule.decide("send", self.fault_stream,
+                                   trace_id=getattr(self, "trace_id", 0))
             if kind == "eagain":
                 return 0
             if kind == "reset":

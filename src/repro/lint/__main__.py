@@ -13,6 +13,8 @@ Subcommands:
   under an installed :class:`~repro.lint.locks.RaceDetector`; exits 1
   when candidate races survive the baseline.
 * ``audit`` — the generated-code audit sweep alone.
+* ``spans [PATH...]`` — the span-usage lint alone: every ``.stage(``
+  call must be a ``with`` context expression.
 * ``docstrings [PATH...]`` — the coverage ratchet alone.
 
 The baseline (``lint-baseline.toml`` at the repository root) applies
@@ -32,6 +34,7 @@ from repro.lint.baseline import Baseline, find_baseline, load_baseline
 from repro.lint.blocking import lint_paths
 from repro.lint.findings import Finding, render_findings, split_suppressed
 from repro.lint.docstrings import coverage_findings
+from repro.lint.spans import span_findings
 
 #: the default docstring ratchet; raise when coverage grows
 DOCSTRING_RATCHET = 60.0
@@ -123,6 +126,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_audit.add_argument("--no-import", action="store_true",
                          help="skip the import check (render-only, faster)")
 
+    p_spans = sub.add_parser("spans", parents=[common],
+                             help="span-usage lint (.stage must be a "
+                                  "with context expression)")
+    p_spans.add_argument("paths", nargs="*",
+                         help="files/dirs to scan (default: shipped tree)")
+
     p_doc = sub.add_parser("docstrings", parents=[common], help="docstring-coverage ratchet")
     p_doc.add_argument("paths", nargs="*",
                        help="trees to measure (default: lint + runtime)")
@@ -150,6 +159,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _report(findings, baseline, args.verbose,
                        "generated-code audit")
 
+    if command == "spans":
+        findings = span_findings(args.paths or None)
+        return _report(findings, baseline, args.verbose,
+                       "span-usage lint")
+
     if command == "docstrings":
         report, findings = coverage_findings(
             args.paths or _docstring_paths(), args.fail_under)
@@ -162,6 +176,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = 0
     failures += _report(lint_paths(), baseline, args.verbose,
                         "reactor blocking-call lint")
+    print()
+    failures += _report(span_findings(), baseline, args.verbose,
+                        "span-usage lint")
     print()
     failures += _report(audit_suite() + crosscut_findings(), baseline,
                         args.verbose, "generated-code audit")

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import ast
 import os
+import re
 import shutil
 import sys
 import tempfile
@@ -50,6 +51,7 @@ from repro.co2p3s.nserver.options import (
 from repro.co2p3s.nserver.table2 import EXPECTED_TABLE2
 from repro.co2p3s.template import load_generated_package
 from repro.lint.findings import Finding
+from repro.lint.spans import stage_misuses
 
 __all__ = [
     "audit_config",
@@ -112,13 +114,43 @@ def _constant_branches(tree: ast.AST) -> List[Tuple[int, str]]:
     return hits
 
 
-def audit_report(report, label: str) -> List[Finding]:
-    """Static checks over one in-memory :class:`GenerationReport`."""
+#: observability vocabulary that must not survive into an O11=No build:
+#: spans, exporters, exemplars, trace ids and flight-recorder hookups all
+#: belong to the tracing tentpole, whose generated call sites exist only
+#: when option O11 is on.  (``flight`` alone would false-positive on the
+#: ordinary phrase "in-flight", hence the targeted forms.)
+_O11_FORBIDDEN = re.compile(
+    r"trace_id|trace_report|exporter|exemplar|\bspans?\b"
+    r"|FlightRecorder|flight_|\.flight\b",
+    re.IGNORECASE)
+
+
+def audit_report(report, label: str,
+                 options: Optional[Mapping[str, object]] = None
+                 ) -> List[Finding]:
+    """Static checks over one in-memory :class:`GenerationReport`.
+
+    When the rendering ``options`` are supplied and O11 is off, the
+    emitted text is additionally scanned for observability vocabulary —
+    the generated-not-configured contract means a disabled option leaves
+    *zero* residue, down to the identifier level.
+    """
     findings: List[Finding] = []
     emitted = set(report.class_names())
     absent = class_universe() - emitted
+    check_o11 = options is not None and not options["O11"]
     for filename, text in sorted(report.files.items()):
         where = f"{label}/{filename}"
+        if check_o11 and filename != "__init__.py":
+            match = _O11_FORBIDDEN.search(text)
+            if match is not None:
+                findings.append(Finding(
+                    kind="audit",
+                    ident=f"audit:o11-purity:{filename}",
+                    location=where,
+                    message=(f"O11=No build mentions {match.group(0)!r} — "
+                             f"disabled observability left residue"),
+                ))
         try:
             tree = ast.parse(text, filename=where)
             compile(text, where, "exec")
@@ -154,6 +186,14 @@ def audit_report(report, label: str) -> List[Finding]:
                 location=f"{where}:{lineno}",
                 message=f"option guard left a dead branch: {description}",
             ))
+        for lineno, call in stage_misuses(tree):
+            findings.append(Finding(
+                kind="audit",
+                ident=f"audit:span-stage:{filename}:{call}",
+                location=f"{where}:{lineno}",
+                message=(f"{call}(...) called outside a with statement — "
+                         f"the stage-exit timestamp is never recorded"),
+            ))
     return findings
 
 
@@ -168,7 +208,7 @@ def audit_config(options: Mapping[str, object], label: str,
     opts = NSERVER.configure(options)
     package = f"audit_{abs(hash(label)) % 10 ** 8:08d}"
     report = NSERVER.render(opts, package=package)
-    findings = audit_report(report, label)
+    findings = audit_report(report, label, options=opts)
     if import_check and not findings:
         dest = tempfile.mkdtemp(prefix="repro-lint-audit-")
         try:

@@ -1,0 +1,86 @@
+"""Span-usage lint: ``.stage(...)`` must be a ``with`` context expression.
+
+:meth:`~repro.obs.spans.Span.stage` returns a context manager whose
+``__exit__`` stamps the stage-end time — including when the body raises,
+``BaseException`` and all.  Calling it *without* ``with`` produces a
+context manager nobody enters: the stage never records, and the one
+subtle variant (``span.stage("x").__enter__()``) opens a stage that
+never closes, skewing every later duration on the span.  The sanctioned
+escape hatch for stages that span callbacks (the Handle step parks on
+``PENDING`` and finishes from a completion event) is the explicit
+:meth:`~repro.obs.spans.Span.stage_begin` / ``stage_end`` pair, which
+this lint deliberately ignores.
+
+The check is purely syntactic — any call whose attribute name is
+``stage`` must appear as the context expression of a ``with`` item.
+That over-approximates (an unrelated object's ``stage()`` method would
+be flagged too), which is the right bias for a lint with a baseline
+file: a false positive costs one justified suppression, a false
+negative costs a silent timing hole.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["span_findings", "stage_misuses"]
+
+
+def stage_misuses(tree: ast.AST) -> List[Tuple[int, str]]:
+    """(lineno, call text) for every ``.stage(`` call outside ``with``."""
+    as_context = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                as_context.add(id(item.context_expr))
+    hits: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "stage"
+                and id(node) not in as_context):
+            hits.append((node.lineno, ast.unparse(node.func)))
+    return hits
+
+
+def _default_paths() -> List[str]:
+    """The shipped tree: everything under ``src/repro``."""
+    return [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
+
+
+def _python_files(paths: Iterable[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, _dirnames, filenames in os.walk(path):
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def span_findings(paths: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Scan ``paths`` (default: the shipped tree) for stage misuses."""
+    findings: List[Finding] = []
+    root = _default_paths()[0]
+    for filename in _python_files(paths or _default_paths()):
+        try:
+            with open(filename, "r", encoding="utf-8") as fh:
+                tree = ast.parse(fh.read(), filename=filename)
+        except (OSError, SyntaxError):
+            continue
+        rel = os.path.relpath(filename, os.path.dirname(root))
+        for lineno, call in stage_misuses(tree):
+            findings.append(Finding(
+                kind="spans",
+                ident=f"spans:{rel}:{call}",
+                location=f"{filename}:{lineno}",
+                message=(f"{call}(...) called outside a with statement — "
+                         f"the stage-exit timestamp is never recorded "
+                         f"(use stage_begin/stage_end for split stages)"),
+            ))
+    return findings

@@ -13,8 +13,14 @@ Four pieces, composable and individually testable:
 * :mod:`repro.obs.sampler` — periodic gauge sampling of pull-style state
   (queue depth, pool size, open connections, overload trip state, cache
   hit rate);
-* :mod:`repro.obs.exposition` — Prometheus text format and the Apache
-  ``mod_status``-style ``/server-status`` report (HTML + ``?auto``).
+* :mod:`repro.obs.exposition` — Prometheus text format (with trace
+  exemplars) and the Apache ``mod_status``-style ``/server-status``
+  report (HTML + ``?auto`` + ``?trace``);
+* :mod:`repro.obs.tracing` — end-to-end trace ids allocated at accept,
+  span exporters (in-memory ring, JSONL file) and the trace report;
+* :mod:`repro.obs.flight` — the always-on flight recorder: a bounded
+  ring of binary-packed lifecycle events, dumped on worker death,
+  quarantine or ``SIGUSR2``.
 
 This package deliberately does not import :mod:`repro.runtime` — the
 runtime imports *it* (the Profiler is a façade over the registry), and
@@ -27,6 +33,14 @@ from repro.obs.exposition import (
     render_status_html,
     sharded_status_fields,
     status_fields,
+)
+from repro.obs.flight import (
+    FlightEvent,
+    FlightRecorder,
+    dump_all,
+    install_signal_dump,
+    parse_dump,
+    reconstruct_path,
 )
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
@@ -41,6 +55,16 @@ from repro.obs.registry import (
     NullRegistry,
 )
 from repro.obs.sampler import PeriodicSampler
+from repro.obs.tracing import (
+    NULL_EXPORTER,
+    JsonlExporter,
+    NullExporter,
+    RingExporter,
+    format_trace_id,
+    next_trace_id,
+    read_jsonl,
+    render_trace_report,
+)
 from repro.obs.spans import (
     NULL_SPAN,
     NULL_SPANS,
@@ -53,24 +77,38 @@ from repro.obs.spans import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonlExporter",
     "MetricFamily",
     "MetricsRegistry",
+    "NULL_EXPORTER",
     "NULL_METRIC",
     "NULL_REGISTRY",
     "NULL_SPAN",
     "NULL_SPANS",
+    "NullExporter",
     "NullMetric",
     "NullRegistry",
     "NullSpan",
     "NullSpanRecorder",
     "PeriodicSampler",
+    "RingExporter",
     "Span",
     "SpanRecorder",
+    "dump_all",
+    "format_trace_id",
+    "install_signal_dump",
+    "next_trace_id",
+    "parse_dump",
+    "read_jsonl",
+    "reconstruct_path",
     "render_prometheus",
     "render_status_auto",
     "render_status_html",
+    "render_trace_report",
     "sharded_status_fields",
     "status_fields",
 ]

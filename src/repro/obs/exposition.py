@@ -54,8 +54,19 @@ def _labels_text(labels: dict, extra: Optional[Tuple[str, str]] = None) -> str:
     return "{" + inner + "}"
 
 
-def render_prometheus(registry) -> str:
-    """The registry in Prometheus text exposition format."""
+def render_prometheus(registry, exemplars=None) -> str:
+    """The registry in Prometheus text exposition format.
+
+    ``exemplars`` (optional) maps ``(family_name, sorted label items)``
+    to ``(value, trace_id)`` — the shape
+    :meth:`repro.obs.spans.SpanRecorder.exemplars` returns.  Each
+    exemplar is attached OpenMetrics-style to the first histogram
+    bucket that contains its value::
+
+        server_request_seconds_bucket{le="0.01"} 4 # {trace_id="00..2a"} 0.0031
+
+    so a scrape links latency buckets back to concrete traced requests.
+    """
     lines: List[str] = []
     for family in registry.collect():
         if family.help:
@@ -63,12 +74,22 @@ def render_prometheus(registry) -> str:
         lines.append(f"# TYPE {family.name} {family.kind}")
         for labels, metric in family.children():
             if family.kind == "histogram":
+                exemplar = None
+                if exemplars:
+                    exemplar = exemplars.get(
+                        (family.name, tuple(sorted(labels.items()))))
                 snap = metric.snapshot()
                 for bound, cumulative in snap["buckets"]:
-                    lines.append(
-                        f"{family.name}_bucket"
-                        f"{_labels_text(labels, ('le', _fmt(bound)))}"
-                        f" {cumulative}")
+                    line = (f"{family.name}_bucket"
+                            f"{_labels_text(labels, ('le', _fmt(bound)))}"
+                            f" {cumulative}")
+                    if exemplar is not None:
+                        value, trace_id = exemplar
+                        if value is not None and value <= bound:
+                            line += (f' # {{trace_id="{trace_id:016x}"}}'
+                                     f" {_fmt(value)}")
+                            exemplar = None
+                    lines.append(line)
                 lines.append(
                     f"{family.name}_sum{_labels_text(labels)} "
                     f"{_fmt(snap['sum'])}")

@@ -17,6 +17,14 @@ across threads — per-connection replies are FIFO, so a span is only ever
 touched by one thread at a time (the pipeline thread, then possibly the
 completion thread that delivers a PENDING result).
 
+Every span carries the connection's ``trace_id`` (allocated at accept
+by :func:`repro.obs.tracing.next_trace_id` and stamped on the socket
+handle), correlating it with the flight-recorder events of the same
+request across shards.  Finished spans are handed to the recorder's
+*exporter* (:mod:`repro.obs.tracing`) when one is wired in, and the
+most recent ``(value, trace_id)`` pair per histogram series is kept as
+an *exemplar* for the Prometheus exposition.
+
 When O11=No the call sites either aren't generated at all (generated
 frameworks) or hit :data:`NULL_SPANS` / :data:`NULL_SPAN` — no-op
 singletons, never an ``if enabled`` branch.
@@ -25,8 +33,9 @@ singletons, never an ``if enabled`` branch.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.lint.locks import access, make_lock
 from repro.obs.registry import DEFAULT_BUCKETS
 
 __all__ = ["Span", "SpanRecorder", "NullSpan", "NullSpanRecorder",
@@ -36,13 +45,18 @@ __all__ = ["Span", "SpanRecorder", "NullSpan", "NullSpanRecorder",
 class Span:
     """One request's timing record; created by :class:`SpanRecorder`."""
 
-    __slots__ = ("recorder", "name", "detail", "start_time", "end_time",
-                 "stages", "_stack")
+    __slots__ = ("recorder", "name", "detail", "trace_id", "parent_id",
+                 "start_time", "end_time", "stages", "_stack")
 
-    def __init__(self, recorder: "SpanRecorder", name: str, detail: str = ""):
+    def __init__(self, recorder: "SpanRecorder", name: str, detail: str = "",
+                 trace_id: int = 0, parent_id: int = 0):
         self.recorder = recorder
         self.name = name
         self.detail = detail
+        #: the connection's trace id (0 = untraced) and, for sub-spans,
+        #: the id of the span this one hangs under
+        self.trace_id = trace_id
+        self.parent_id = parent_id
         self.start_time = recorder.clock()
         self.end_time: Optional[float] = None
         #: completed stages as (dotted_path, start, end)
@@ -102,10 +116,11 @@ class SpanRecorder:
     enabled = True
 
     def __init__(self, registry, tracer=None, clock=time.monotonic,
-                 buckets=DEFAULT_BUCKETS):
+                 buckets=DEFAULT_BUCKETS, exporter=None):
         self.registry = registry
         self.tracer = tracer
         self.clock = clock
+        self.exporter = exporter
         self._total = registry.histogram(
             "server_request_seconds",
             "End-to-end request latency (framed request -> reply queued)",
@@ -114,9 +129,16 @@ class SpanRecorder:
             "server_request_stage_seconds",
             "Per-stage request latency (read/decode/handle/encode/send)",
             labels=("stage",), buckets=buckets)
+        #: (metric name, label items) -> (value, trace_id): the most
+        #: recent traced observation per histogram series
+        self._exemplars: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                              Tuple[float, int]] = {}
+        self._exemplar_lock = make_lock("span-exemplars")
 
-    def start(self, name: str = "request", detail: str = "") -> Span:
-        return Span(self, name, detail)
+    def start(self, name: str = "request", detail: str = "",
+              trace_id: int = 0, parent_id: int = 0) -> Span:
+        return Span(self, name, detail, trace_id=trace_id,
+                    parent_id=parent_id)
 
     def observe(self, stage: str, seconds: float) -> None:
         """Record a stage sample outside any span (read/send socket work,
@@ -133,10 +155,38 @@ class SpanRecorder:
             out[labels["stage"]] = {q: hist.quantile(q) for q in quantiles}
         return out
 
+    def exemplars(self) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                                Tuple[float, int]]:
+        """A copy of the exemplar table, for the Prometheus renderer."""
+        with self._exemplar_lock:
+            access(self, "_exemplars", write=False)
+            return dict(self._exemplars)
+
     def _record(self, span: Span) -> None:
         self._total.observe(span.duration)
         for path, started, ended in span.stages:
             self._stages.labels(stage=path).observe(ended - started)
+        if span.trace_id:
+            with self._exemplar_lock:
+                access(self, "_exemplars")
+                self._exemplars["server_request_seconds", ()] = (
+                    span.duration, span.trace_id)
+                for path, started, ended in span.stages:
+                    self._exemplars[
+                        "server_request_stage_seconds",
+                        (("stage", path),)] = (ended - started, span.trace_id)
+        if self.exporter is not None:
+            self.exporter.export({
+                "trace_id": span.trace_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "detail": span.detail,
+                "start": span.start_time,
+                "end": span.end_time,
+                "total": span.duration,
+                "stages": [{"stage": path, "seconds": ended - started}
+                           for path, started, ended in span.stages],
+            })
         if self.tracer is not None:
             parts = " ".join(f"{path}={ended - started:.6f}"
                              for path, started, ended in span.stages)
@@ -152,6 +202,8 @@ class NullSpan:
     __slots__ = ()
     finished = True
     duration = None
+    trace_id = 0
+    parent_id = 0
     stages: List[Tuple[str, float, float]] = []
 
     def stage(self, name: str) -> "NullSpan":
@@ -181,14 +233,19 @@ class NullSpanRecorder:
 
     enabled = False
     tracer = None
+    exporter = None
 
-    def start(self, name: str = "request", detail: str = "") -> NullSpan:
+    def start(self, name: str = "request", detail: str = "",
+              trace_id: int = 0, parent_id: int = 0) -> NullSpan:
         return NULL_SPAN
 
     def observe(self, stage: str, seconds: float) -> None:
         pass
 
     def stage_quantiles(self, quantiles=(0.50, 0.90, 0.99)) -> dict:
+        return {}
+
+    def exemplars(self) -> dict:
         return {}
 
 

@@ -1,0 +1,193 @@
+"""End-to-end request tracing: trace ids, span exporters, reports.
+
+A trace id is allocated when a connection's :class:`SocketHandle` is
+created (the accept boundary) and rides the handle through the
+Communicator, shard placement, the Event Processor worker and the
+write path.  Two consumers see it:
+
+* the **flight recorder** (:mod:`repro.obs.flight`) stamps it on every
+  lifecycle event, always;
+* the **span layer** (:mod:`repro.obs.spans`) carries it on each
+  request span and hands finished spans to an *exporter* — but only in
+  O11=Yes builds, where the generator wires an exporter in.
+
+Exporters are deliberately tiny: :class:`RingExporter` keeps the last
+N span records in memory (tests, the ``/server-status?trace`` page);
+:class:`JsonlExporter` appends one JSON object per line to a file
+(experiments, offline analysis).  A span record is a plain dict::
+
+    {"trace_id": int, "parent_id": int, "name": str, "detail": str,
+     "start": float, "end": float, "total": float,
+     "stages": [{"stage": str, "seconds": float}, ...]}
+
+:func:`render_trace_report` turns a batch of records into the text the
+status page serves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from typing import Iterable, List, Optional
+
+from repro.lint.locks import make_lock
+
+__all__ = [
+    "JsonlExporter",
+    "NULL_EXPORTER",
+    "NullExporter",
+    "RingExporter",
+    "format_trace_id",
+    "next_trace_id",
+    "read_jsonl",
+    "render_trace_report",
+]
+
+#: process-wide trace-id allocator; ``next()`` on a count is atomic
+#: under the GIL, so the accept path takes no lock
+_trace_ids = itertools.count(1)
+
+
+def next_trace_id() -> int:
+    """Allocate the next trace id (monotonic, process-wide, never 0 —
+    0 is the "no trace" sentinel in flight events and spans)."""
+    return next(_trace_ids)
+
+
+def format_trace_id(trace_id: int) -> str:
+    """The canonical textual form: 16 hex digits, as in flight dumps."""
+    return f"{trace_id:016x}"
+
+
+class RingExporter:
+    """Span exporter keeping the most recent ``capacity`` records.
+
+    The in-memory backend: tests read :meth:`records` directly and the
+    generated ``trace_report()`` renders them for
+    ``/server-status?trace``.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("exporter capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = True
+        self._ring: "deque[dict]" = deque(maxlen=capacity)
+
+    def export(self, record: dict) -> None:
+        """Keep one finished-span record (deque append: GIL-atomic)."""
+        self._ring.append(dict(record))
+
+    def records(self) -> List[dict]:
+        """The buffered records, oldest first (copies)."""
+        return [dict(record) for record in list(self._ring)]
+
+    def clear(self) -> None:
+        """Drop the buffer (tests)."""
+        self._ring.clear()
+
+    def flush(self) -> None:
+        """Nothing buffered outside the ring: no-op."""
+
+    def close(self) -> None:
+        """The ring stays readable after close: no-op."""
+
+
+class JsonlExporter:
+    """Span exporter appending one JSON object per line to a file.
+
+    The durable backend for experiments: post-process with any
+    line-oriented tooling, or :func:`read_jsonl`.  The writer takes a
+    lock per export — this exporter is for offline analysis, not the
+    hot path's always-on story (that is the flight recorder's job).
+    """
+
+    def __init__(self, path: str, append: bool = False):
+        self.path = path
+        self._fh = open(path, "a" if append else "w", encoding="utf-8")
+        self._lock = make_lock("jsonl-exporter")
+
+    def export(self, record: dict) -> None:
+        """Serialise and append one record (no-op after close)."""
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._fh is not None:
+                self._fh.write(line + "\n")
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None
+
+
+class NullExporter:
+    """The null object: every operation is a no-op."""
+
+    enabled = False
+
+    def export(self, record: dict) -> None:
+        """Discard the record."""
+
+    def records(self) -> List[dict]:
+        """Always empty."""
+        return []
+
+    def clear(self) -> None:
+        """Nothing to drop."""
+
+    def flush(self) -> None:
+        """Nothing to flush."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+
+#: shared inert exporter (the O11=No span layer never exports anyway)
+NULL_EXPORTER = NullExporter()
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Load every record a :class:`JsonlExporter` wrote to ``path``."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def render_trace_report(records: Iterable[dict],
+                        sharded: bool = False) -> str:
+    """The ``/server-status?trace`` text: one line per span record.
+
+    Records are merged chronologically (by span start), so a sharded
+    server's report interleaves all shards into one timeline::
+
+        Traces: 2
+        trace=0000000000000003 request 127.0.0.1:4242 total=0.000210 \
+decode=0.000020 handle=0.000150 encode=0.000040
+    """
+    batch = sorted(records, key=lambda record: record.get("start", 0.0))
+    lines = [f"Traces: {len(batch)}"]
+    if sharded:
+        lines[0] += " (all shards)"
+    for record in batch:
+        stages = " ".join(
+            f"{stage['stage']}={stage['seconds']:.6f}"
+            for stage in record.get("stages", ()))
+        line = (f"trace={format_trace_id(record.get('trace_id', 0))} "
+                f"{record.get('name', '?')} {record.get('detail', '')} "
+                f"total={record.get('total', 0.0):.6f} {stages}")
+        lines.append(" ".join(line.split()))
+    return "\n".join(lines) + "\n"

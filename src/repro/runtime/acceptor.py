@@ -15,6 +15,7 @@ import socket
 import time
 from typing import Callable, Optional
 
+from repro.obs.flight import GLOBAL as GLOBAL_FLIGHT
 from repro.runtime.event_source import SocketEventSource
 from repro.runtime.events import AcceptEvent
 from repro.runtime.handles import ListenHandle, SocketHandle
@@ -44,12 +45,19 @@ class Acceptor:
         clock=time.monotonic,
         backoff: float = 0.05,
         register_accepted: bool = True,
+        flight=None,
     ):
         self.listen = listen
         self.source = source
         self.on_connection = on_connection
         self.overload = overload
         self.profiler = profiler
+        #: lifecycle-event ring; always on (defaults to the process-wide
+        #: recorder when the owning server did not pass its own).  The
+        #: listen handle records the accept events itself (so generated
+        #: accept loops get them too) — point it at the same ring.
+        self.flight = flight if flight is not None else GLOBAL_FLIGHT
+        listen.flight = self.flight
         self.clock = clock
         self.backoff = backoff
         #: when False the ``on_connection`` callback owns registration —
@@ -71,6 +79,7 @@ class Acceptor:
                 # Postpone: leave remaining connections in the kernel
                 # backlog; they will surface as another AcceptEvent.
                 self.postponed += 1
+                self.flight.record("shed", "accept postponed: overloaded")
                 return
             try:
                 handle = self.listen.try_accept()

@@ -24,6 +24,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Optional, Tuple
 
+from repro.obs.flight import GLOBAL as GLOBAL_FLIGHT
 from repro.obs.spans import NULL_SPANS
 from repro.runtime.buffers import segment_bytes
 from repro.runtime.events import Event
@@ -123,10 +124,14 @@ class Communicator:
         spans=NULL_SPANS,
         clock=time.monotonic,
         buffer_pool=None,
+        flight=None,
     ):
         self.handle = handle
         self.hooks = hooks
         self.use_codec = use_codec
+        #: always-on lifecycle-event ring (per-shard when the owning
+        #: server passed its own; the process-wide recorder otherwise)
+        self.flight = flight if flight is not None else GLOBAL_FLIGHT
         #: header BufferPool of the zero-copy write path (None = the
         #: copying path; encode hooks key segment emission off this)
         self.buffer_pool = buffer_pool
@@ -203,6 +208,9 @@ class Communicator:
             self.close()
             return
         self._stamp_write(sent)
+        if sent and not self.handle.out_buffer:
+            self.flight.record("write-complete", self.handle.name,
+                               getattr(self.handle, "trace_id", 0))
         self._sync_interest()
         if self.close_after_flush and not self.handle.out_buffer:
             self.close()
@@ -232,24 +240,40 @@ class Communicator:
         return self.hooks.encode(result, self) if self.use_codec else result
 
     def _run_pipeline(self, raw: bytes) -> None:
-        span = self.spans.start("request", detail=self.handle.name)
+        trace_id = getattr(self.handle, "trace_id", 0)
+        self.flight.record(
+            "dispatch",
+            f"{self.handle.name} worker={threading.current_thread().name}",
+            trace_id)
+        span = self.spans.start("request", detail=self.handle.name,
+                                trace_id=trace_id)
         ticket = _Ticket(span, started=self.clock())
         with self._ticket_lock:
             self._awaiting.append(ticket)
         try:
+            self.flight.record("stage-enter", "decode", trace_id)
             with span.stage("decode"):
                 request = self.step_decode(raw)
+            self.flight.record("stage-exit", "decode", trace_id)
             self.tracer.trace("decode", f"{self.handle.name} {len(raw)}B")
             span.stage_begin("handle")
+            self.flight.record("stage-enter", "handle", trace_id)
             result = self.step_handle(request)
-        except Exception as exc:  # noqa: BLE001 - hook errors end the connection
+        except BaseException as exc:  # noqa: BLE001 - hook errors end the connection
+            # The span closes first, whatever is flying: a worker-killing
+            # BaseException (fault injection's WorkerCrash) must not leave
+            # open stages dangling on a span the recorder already shared.
             span.finish()
-            self.profiler.error()
-            self.log.error(f"pipeline error on {self.handle.name}: {exc!r}")
             with self._ticket_lock:
                 self._awaiting.clear()
                 self._pending.clear()
                 self._early.clear()
+            if not isinstance(exc, Exception):
+                # Worker-death path: the supervisor owns recovery, so the
+                # exception keeps propagating to take the worker down.
+                raise
+            self.profiler.error()
+            self.log.error(f"pipeline error on {self.handle.name}: {exc!r}")
             self.close()
             return
         if result is PENDING:
@@ -279,8 +303,10 @@ class Communicator:
         self._finish(ticket, result)
 
     def _finish(self, ticket: Any, result: Any) -> None:
+        trace_id = getattr(self.handle, "trace_id", 0)
         span = ticket.span
         span.stage_end()  # closes "handle" (sync path; no-op if already closed)
+        self.flight.record("stage-exit", "handle", trace_id)
         with self._ticket_lock:
             try:
                 self._awaiting.remove(ticket)
@@ -294,8 +320,10 @@ class Communicator:
             self.close()
             return
         try:
+            self.flight.record("stage-enter", "encode", trace_id)
             with span.stage("encode"):
                 data = self.step_encode(result)
+            self.flight.record("stage-exit", "encode", trace_id)
         except Exception as exc:  # noqa: BLE001
             span.finish()
             self.profiler.error()
@@ -343,6 +371,9 @@ class Communicator:
             self.close()
             return
         self._stamp_write(sent)
+        if sent and not self.handle.out_buffer:
+            self.flight.record("write-complete", self.handle.name,
+                               getattr(self.handle, "trace_id", 0))
         self._sync_interest()
         if self.close_after_flush and not self.handle.out_buffer:
             self.close()

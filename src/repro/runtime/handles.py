@@ -13,6 +13,9 @@ import socket
 import threading
 from typing import Optional
 
+from repro.obs.flight import GLOBAL as GLOBAL_FLIGHT
+from repro.obs.tracing import next_trace_id
+
 __all__ = ["Handle", "SocketHandle", "ListenHandle", "FileHandle"]
 
 
@@ -49,6 +52,9 @@ class SocketHandle(Handle):
         self.out_buffer = bytearray()
         #: monotonic timestamp of the last I/O (idle reaping, option O7)
         self.last_activity = 0.0
+        #: end-to-end trace id, stamped at the accept boundary and
+        #: carried through dispatch, shard placement and the write path
+        self.trace_id = next_trace_id()
 
     def fileno(self) -> int:
         return self.sock.fileno()
@@ -122,6 +128,11 @@ class ListenHandle(Handle):
         self.sock = sock
         self.backlog = backlog
         self.handle_cls = handle_cls or SocketHandle
+        #: flight recorder receiving the accept events; recording here
+        #: (not in the Acceptor) covers generated frameworks whose own
+        #: AcceptorEventHandler drains the backlog directly.  An owning
+        #: Acceptor repoints this at its server's recorder.
+        self.flight = GLOBAL_FLIGHT
         super().__init__(name=f"listen:{self.address[1]}")
 
     @property
@@ -141,7 +152,10 @@ class ListenHandle(Handle):
             conn, _addr = self.sock.accept()
         except BlockingIOError:
             return None
-        return self.handle_cls(conn)
+        handle = self.handle_cls(conn)
+        self.flight.record("accept", handle.name,
+                           getattr(handle, "trace_id", 0))
+        return handle
 
     def close(self) -> None:
         if not self._closed:

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.lint.locks import access, make_lock
+from repro.obs.flight import GLOBAL as GLOBAL_FLIGHT
 from repro.obs.registry import NULL_METRIC
 from repro.runtime.tracing import NULL_LOG
 
@@ -188,11 +189,14 @@ class WorkerSupervisor:
     """
 
     def __init__(self, processor, interval: float = 0.05,
-                 counter=NULL_METRIC, log=NULL_LOG):
+                 counter=NULL_METRIC, log=NULL_LOG, flight=None):
         self.processor = processor
         self.interval = interval
         self.counter = counter
         self.log = log
+        #: flight recorder receiving worker-death events (and the dump
+        #: trigger — a dead worker is exactly a post-mortem moment)
+        self.flight = flight if flight is not None else GLOBAL_FLIGHT
         self.restarts = 0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -200,6 +204,13 @@ class WorkerSupervisor:
     def check(self) -> int:
         """One supervision pass; returns how many workers were replaced."""
         dead = self.processor.prune_dead()
+        if dead:
+            self.flight.record(
+                "worker-death",
+                f"{self.processor.name} dead={dead} "
+                f"last={self.processor.last_death!r}")
+            dump = self.flight.snapshot("worker-death")
+            self.log.error(f"flight recorder dumped to {dump}")
         for _ in range(dead):
             try:
                 self.processor.add_thread()
@@ -254,12 +265,14 @@ class EventQuarantine:
     def __init__(self, max_retries: int = 2,
                  resubmit: Optional[Callable] = None,
                  counter=NULL_METRIC, log=NULL_LOG,
-                 fallback: Optional[Callable] = None):
+                 fallback: Optional[Callable] = None, flight=None):
         self.max_retries = max_retries
         self.resubmit = resubmit
         self.counter = counter
         self.log = log
         self.fallback = fallback
+        #: flight recorder receiving quarantine events and the dump
+        self.flight = flight if flight is not None else GLOBAL_FLIGHT
         self.quarantined: list = []
         self.retries = 0
         self._attempts: dict = {}
@@ -267,11 +280,12 @@ class EventQuarantine:
 
     @classmethod
     def attach(cls, processor, max_retries: int = 2,
-               counter=NULL_METRIC, log=NULL_LOG) -> "EventQuarantine":
+               counter=NULL_METRIC, log=NULL_LOG,
+               flight=None) -> "EventQuarantine":
         """Install on ``processor``, chaining its prior ``error_hook``."""
         quarantine = cls(max_retries=max_retries, resubmit=processor.submit,
                          counter=counter, log=log,
-                         fallback=processor.error_hook)
+                         fallback=processor.error_hook, flight=flight)
         processor.error_hook = quarantine
         return quarantine
 
@@ -307,3 +321,8 @@ class EventQuarantine:
         self.log.error(
             f"event {key} quarantined after "
             f"{self.max_retries} retries: {exc!r}")
+        self.flight.record(
+            "quarantine", f"event {key}: {exc!r}",
+            getattr(getattr(event, "handle", None), "trace_id", 0))
+        dump = self.flight.snapshot("quarantine")
+        self.log.error(f"flight recorder dumped to {dump}")

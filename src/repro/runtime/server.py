@@ -23,7 +23,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cache import FileCache
+from repro.obs.flight import FlightRecorder, install_signal_dump
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import JsonlExporter, RingExporter, render_trace_report
 from repro.runtime.buffers import BufferPool, OutBuffer
 from repro.obs.sampler import PeriodicSampler
 from repro.obs.spans import NULL_SPANS, SpanRecorder
@@ -78,6 +80,10 @@ class RuntimeConfig:
     profiling: bool = False                     # O11
     logging: bool = False                       # O12
     sample_interval: float = 1.0                # O11 gauge-sampler period
+    trace_ring_capacity: int = 256              # O11 span-exporter ring
+    trace_export_path: Optional[str] = None     # O11: JSONL span export
+    flight_capacity: int = 4096                 # always-on lifecycle ring
+    flight_dump_dir: Optional[str] = None       # where crash dumps land
     fault_tolerance: bool = False               # O13
     write_path: str = "buffered"                # O15: "buffered"/"zerocopy"
     buffer_size_classes: tuple = (1024, 4096, 16384, 65536)
@@ -118,14 +124,29 @@ class ReactorServer:
         self._started = False
         self._lock = threading.Lock()
 
+        # Always-on flight recorder: lifecycle events for this server's
+        # connections land here (a shard renames its own in
+        # ReactorShard); no option gates it.
+        self.flight = FlightRecorder(capacity=config.flight_capacity,
+                                     name="reactor",
+                                     dump_dir=config.flight_dump_dir)
+
         # O11 / O10 / O12 feature objects (null objects when disabled).
         self.tracer = EventTracer() if config.debug_mode else NULL_TRACER
         self.log = ServerLog() if config.logging else NULL_LOG
         self.registry = MetricsRegistry() if config.profiling else NULL_REGISTRY
         self.profiler = (Profiler(registry=self.registry)
                          if config.profiling else NULL_PROFILER)
+        # O11: finished request spans stream to an exporter — a JSONL
+        # file when configured, the in-memory ring otherwise.
+        self.exporter = None
+        if config.profiling:
+            self.exporter = (JsonlExporter(config.trace_export_path)
+                             if config.trace_export_path
+                             else RingExporter(config.trace_ring_capacity))
         self.spans = (SpanRecorder(self.registry,
-                                   tracer=self.tracer if config.debug_mode else None)
+                                   tracer=self.tracer if config.debug_mode else None,
+                                   exporter=self.exporter)
                       if config.profiling else NULL_SPANS)
 
         # O6: file cache.
@@ -287,6 +308,7 @@ class ReactorServer:
                         "server_worker_restarts_total",
                         "Dead Event Processor workers replaced"),
                     log=self.log,
+                    flight=self.flight,
                 )
                 self.quarantine = EventQuarantine.attach(
                     self.processor,
@@ -295,6 +317,7 @@ class ReactorServer:
                         "server_quarantined_events_total",
                         "Poison events quarantined after retries"),
                     log=self.log,
+                    flight=self.flight,
                 )
 
         self.listen: Optional[ListenHandle] = None
@@ -329,6 +352,7 @@ class ReactorServer:
             log=self.log,
             spans=self.spans,
             buffer_pool=self.buffer_pool,
+            flight=self.flight,
         )
         conn.context["server"] = self
         self.container.add(conn)
@@ -389,6 +413,9 @@ class ReactorServer:
             if self._started:
                 return
             self._started = True
+        # Best effort: SIGUSR2 dumps every live flight recorder.  A
+        # no-op off the main thread or on platforms without the signal.
+        install_signal_dump()
         self._open_acceptor()
         self.dispatcher.route(EventKind.READABLE, self._submit)
         self.dispatcher.route(EventKind.WRITABLE, self._submit)
@@ -410,6 +437,7 @@ class ReactorServer:
             on_connection=self._make_communicator,
             overload=self.overload,
             profiler=self.profiler,
+            flight=self.flight,
         )
         self.dispatcher.route(EventKind.ACCEPT, self.acceptor.handle)
         self.acceptor.open()
@@ -456,6 +484,8 @@ class ReactorServer:
             self.sampler.stop()
         self.source.close()
         self.tracer.close()
+        if self.exporter is not None:
+            self.exporter.close()
         self.log.info("server stopped")
 
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -473,6 +503,7 @@ class ReactorServer:
         if not started:
             return True
         self.log.info("draining: accept closed, waiting for in-flight work")
+        self.flight.record("drain", f"timeout={timeout}")
         if self.acceptor is not None:
             self.acceptor.close()
         deadline = time.monotonic() + timeout
@@ -498,6 +529,17 @@ class ReactorServer:
                 self.processor.queue_length or self.processor.busy_count):
             return False
         return all(not conn.busy() for conn in self.container.connections())
+
+    # -- tracing ---------------------------------------------------------
+    def trace_records(self) -> list:
+        """Finished span records held by the exporter (empty when spans
+        stream to JSONL or profiling is off — read the file instead)."""
+        records = getattr(self.exporter, "records", None)
+        return records() if records is not None else []
+
+    def trace_report(self) -> str:
+        """Plain-text report over the exporter's in-memory records."""
+        return render_trace_report(self.trace_records())
 
     def __enter__(self) -> "ReactorServer":
         self.start()

@@ -22,6 +22,8 @@ import zlib
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.lint.locks import access, make_lock
+from repro.obs.flight import FlightRecorder
+from repro.obs.tracing import render_trace_report
 from repro.obs.exposition import (
     render_status_auto,
     render_status_html,
@@ -138,6 +140,9 @@ class ReactorShard(ReactorServer):
                  shard_id: int = 0, **kwargs):
         super().__init__(hooks, config, **kwargs)
         self.shard_id = shard_id
+        # the per-server recorder is built by ReactorServer.__init__;
+        # renaming it makes every dump file say which shard it came from
+        self.flight.name = f"shard-{shard_id}"
         self.adopted = 0
         self._adopt_lock = make_lock("ReactorShard")
 
@@ -214,6 +219,11 @@ class ShardedReactorServer:
                 policy, shards,
                 loads=[(lambda s=s: len(s.container)) for s in self.shards])
         self.accepted_per_shard = [0] * shards
+        #: the accept plane's own lifecycle ring — shard rings only see a
+        #: connection after placement, so accept/shed events land here
+        self.flight = FlightRecorder(capacity=config.flight_capacity,
+                                     name="accept-plane",
+                                     dump_dir=config.flight_dump_dir)
         self.accept_source = SocketEventSource()
         self.accept_dispatcher = EventDispatcher(self.accept_source, threads=1)
         self.listen: Optional[ListenHandle] = None
@@ -240,6 +250,8 @@ class ShardedReactorServer:
         with self._lock:
             access(self, "accepted_per_shard")
             self.accepted_per_shard[shard.shard_id] += 1
+        shard.flight.record("adopt", f"shard={shard.shard_id} {handle.name}",
+                            getattr(handle, "trace_id", 0))
         shard.adopt(handle)
 
     # -- lifecycle --------------------------------------------------------
@@ -267,6 +279,7 @@ class ShardedReactorServer:
             on_connection=self._distribute,
             overload=self._gate,
             register_accepted=False,
+            flight=self.flight,
         )
         self.accept_dispatcher.route(EventKind.ACCEPT, self.acceptor.handle)
         self.acceptor.open()
@@ -333,6 +346,18 @@ class ShardedReactorServer:
         fields = self.status_fields()
         return render_status_auto(fields) if auto \
             else render_status_html(fields)
+
+    def trace_records(self) -> list:
+        """Finished span records merged from every shard's exporter."""
+        records = []
+        for shard in self.shards:
+            records.extend(shard.trace_records())
+        return records
+
+    def trace_report(self) -> str:
+        """Plain-text trace report across all shards (merged, sorted by
+        span start so interleavings read chronologically)."""
+        return render_trace_report(self.trace_records(), sharded=True)
 
     def __enter__(self) -> "ShardedReactorServer":
         """Context-manager start."""

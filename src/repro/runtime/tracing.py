@@ -6,6 +6,15 @@ what happened during the time an error condition occurred."
 :class:`EventTracer` keeps a bounded in-memory ring (cheap enough to be
 always-on in debug builds) and can stream to a file.
 
+Since the always-on flight recorder landed
+(:mod:`repro.obs.flight`), the tracer is a thin adapter over a
+:class:`~repro.obs.flight.FlightRecorder`: one event vocabulary, one
+ring implementation, one flush/close path.  The tracer keeps its
+historical surface — :class:`TraceRecord` objects, ``[category]``
+formatting without trace ids, a streaming text sink — but new code
+should record into a flight recorder directly; ``EventTracer`` exists
+for O10=Debug builds and for callers of the old API.
+
 O12: application-level logging.  :class:`ServerLog` is a minimal
 severity-tagged logger; the generated handlers call it only when the
 template generated those call sites.
@@ -15,9 +24,10 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass
 from typing import IO, Optional
+
+from repro.obs.flight import FlightRecorder
 
 __all__ = ["TraceRecord", "EventTracer", "NullTracer", "NULL_TRACER",
            "ServerLog", "NullLog", "NULL_LOG"]
@@ -34,32 +44,38 @@ class TraceRecord:
 
 
 class EventTracer:
-    """Bounded ring of internal-event trace records (debug mode)."""
+    """Bounded ring of internal-event trace records (debug mode).
+
+    .. deprecated:: backed by :class:`repro.obs.flight.FlightRecorder`
+       — use a flight recorder directly in new code.  Details are
+       capped at the recorder's 512-byte limit.
+    """
 
     enabled = True
 
     def __init__(self, capacity: int = 4096, sink: Optional[IO[str]] = None,
-                 clock=time.monotonic):
-        if capacity < 1:
-            raise ValueError("capacity must be >= 1")
-        self._ring: deque = deque(maxlen=capacity)
+                 clock=time.monotonic, flight: Optional[FlightRecorder] = None):
+        self._flight = (flight if flight is not None
+                        else FlightRecorder(capacity=capacity, name="tracer",
+                                            clock=clock))
         self._sink = sink
-        self._clock = clock
         self._lock = threading.Lock()
 
-    def trace(self, category: str, detail: str) -> None:
-        rec = TraceRecord(self._clock(), category, detail)
+    @property
+    def flight(self) -> FlightRecorder:
+        """The backing flight recorder (shared event ring)."""
+        return self._flight
+
+    def trace(self, category: str, detail: str, trace_id: int = 0) -> None:
+        timestamp = self._flight.record(category, detail, trace_id)
         with self._lock:
-            self._ring.append(rec)
             if self._sink is not None:
-                self._sink.write(rec.format() + "\n")
+                self._sink.write(
+                    f"{timestamp:.6f} [{category}] {detail}\n")
 
     def records(self, category: Optional[str] = None) -> list:
-        with self._lock:
-            recs = list(self._ring)
-        if category is not None:
-            recs = [r for r in recs if r.category == category]
-        return recs
+        return [TraceRecord(event.timestamp, event.category, event.detail)
+                for event in self._flight.events(category=category)]
 
     def dump(self, sink: IO[str]) -> int:
         """Write the current ring to ``sink``; returns record count."""
@@ -96,11 +112,12 @@ class NullTracer(EventTracer):
     code that takes a tracer parameter gets this free-of-cost stub."""
 
     enabled = False
+    flight = None
 
     def __init__(self):
         pass
 
-    def trace(self, category: str, detail: str) -> None:
+    def trace(self, category: str, detail: str, trace_id: int = 0) -> None:
         pass
 
     def records(self, category: Optional[str] = None) -> list:

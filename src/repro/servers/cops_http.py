@@ -97,8 +97,9 @@ class CopsHttpHooks(ServerHooks):
         conn.complete_request(response)
 
     def _server_status(self, request, conn):
-        """The ``/server-status`` surface: HTML report, or the Apache
-        ``mod_status`` machine-readable format with ``?auto``.
+        """The ``/server-status`` surface: HTML report, the Apache
+        ``mod_status`` machine-readable format with ``?auto``, or the
+        recent-request trace report with ``?trace``.
 
         The observability layer only exists when the framework was
         generated with O11=Yes; any other build answers 404 — the page,
@@ -109,10 +110,15 @@ class CopsHttpHooks(ServerHooks):
         if observability is None:
             return self._error(conn, 404, version=request.version,
                                close=not keep_alive)
-        auto = "auto" in request.query.split("&")
-        body = observability.status_report(auto=auto)
-        content_type = ("text/plain; charset=utf-8" if auto
-                        else "text/html; charset=utf-8")
+        query = request.query.split("&")
+        auto = "auto" in query
+        if "trace" in query:
+            body = observability.trace_report()
+            content_type = "text/plain; charset=utf-8"
+        else:
+            body = observability.status_report(auto=auto)
+            content_type = ("text/plain; charset=utf-8" if auto
+                            else "text/html; charset=utf-8")
         headers = http.Headers([("Content-Type", content_type)])
         if not keep_alive:
             headers.set("Connection", "close")

@@ -86,6 +86,48 @@ def test_runtime_option_consultation_is_flagged():
     assert idents == ["audit:options-at-runtime:mod.py"]
 
 
+def test_seeded_stage_misuse_is_flagged():
+    report = _StubReport({"mod.py": (
+        "def f(span):\n"
+        "    span.stage('decode')\n")})
+    idents = [f.ident for f in audit_report(report, "stub")]
+    assert "audit:span-stage:mod.py:span.stage" in idents
+
+
+def test_o11_no_build_with_tracing_residue_is_flagged():
+    options = {"O11": False}
+    report = _StubReport({"mod.py": "x = handle.trace_id\n"})
+    idents = [f.ident for f in audit_report(report, "stub",
+                                            options=options)]
+    assert "audit:o11-purity:mod.py" in idents
+    # The record of the generation options is exempt: it names every
+    # option, including the observability ones it turned off.
+    report = _StubReport({"__init__.py": "GENERATED_OPTIONS = "
+                                         "{'O11': 'No'}\n"
+                                         "exporter = None\n"})
+    assert not any("o11-purity" in f.ident
+                   for f in audit_report(report, "stub", options=options))
+
+
+def test_o11_yes_build_is_not_purity_scanned():
+    report = _StubReport({"mod.py": "x = handle.trace_id\n"})
+    assert not any(
+        "o11-purity" in f.ident
+        for f in audit_report(report, "stub", options={"O11": True}))
+    # No options at all (direct audit_report callers): no purity scan.
+    assert not any("o11-purity" in f.ident
+                   for f in audit_report(report, "stub"))
+
+
+def test_o11_purity_ignores_in_flight_prose():
+    # "in-flight" in drain docstrings must not read as recorder residue.
+    options = {"O11": False}
+    report = _StubReport({"mod.py": (
+        '"""Drain waits for in-flight events to finish."""\n')})
+    assert not any("o11-purity" in f.ident
+                   for f in audit_report(report, "stub", options=options))
+
+
 def test_crosscut_three_way_agreement():
     # AST-derived == declared fragment metadata == checked-in Table 2
     assert crosscut_findings() == []

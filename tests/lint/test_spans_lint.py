@@ -1,0 +1,70 @@
+"""The span-usage lint: ``.stage(...)`` must be a ``with`` context
+expression (the exit stamp is what records the stage)."""
+
+import ast
+import textwrap
+
+from repro.lint.spans import span_findings, stage_misuses
+
+
+def misuses(source):
+    return stage_misuses(ast.parse(textwrap.dedent(source)))
+
+
+def test_with_stage_is_clean():
+    assert misuses("""
+        with span.stage("decode"):
+            decode()
+        with span.stage("handle"), span.stage("handle.cache"):
+            handle()
+    """) == []
+
+
+def test_bare_stage_call_is_flagged():
+    hits = misuses("""
+        span.stage("decode")
+        decode()
+    """)
+    assert [(line, call) for line, call in hits] == [(2, "span.stage")]
+
+
+def test_manual_enter_is_flagged():
+    # The subtle variant: opens a stage nobody ever closes.
+    hits = misuses('span.stage("decode").__enter__()\n')
+    assert len(hits) == 1 and hits[0][1] == "span.stage"
+
+
+def test_stage_begin_end_pair_is_the_sanctioned_escape_hatch():
+    assert misuses("""
+        span.stage_begin("handle")
+        park_on_pending()
+        span.stage_end()
+    """) == []
+
+
+def test_stage_inside_other_with_items_still_flagged():
+    # Only the context expression itself is sanctioned; a stage call in
+    # a with *body* records nothing.
+    hits = misuses("""
+        with lock:
+            span.stage("decode")
+    """)
+    assert len(hits) == 1
+
+
+def test_span_findings_over_files(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text('def f(span):\n    span.stage("x")\n')
+    clean = tmp_path / "clean.py"
+    clean.write_text('def f(span):\n    with span.stage("x"):\n        pass\n')
+    findings = span_findings([str(tmp_path)])
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.kind == "spans"
+    assert finding.ident.startswith("spans:")
+    assert "dirty.py" in finding.location
+    assert "outside a with statement" in finding.message
+
+
+def test_shipped_tree_is_clean():
+    assert span_findings() == []

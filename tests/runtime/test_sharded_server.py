@@ -156,6 +156,74 @@ def test_drain_quiesces_every_shard():
         assert server.open_connections == 0
 
 
+def test_sharded_status_fields_are_complete_and_aggregate_once():
+    """The ?auto completeness contract: every scalar a shard registers
+    appears exactly once in the aggregate section (summed — averaged
+    for rates) and once per shard under a ``shard="i"`` label,
+    including the O15 buffer-pool hit-rate gauge."""
+    import math
+
+    from repro.obs import status_fields
+
+    #: Apache-style fields derived from the aggregates; a shard's own
+    #: copy of these must NOT leak into the per-shard section
+    derived = {"Total Accesses", "Total Connections", "BusyWorkers",
+               "CacheHitRate", "Uptime", "Total kBytes", "ReqPerSec",
+               "BytesPerSec"}
+    cfg = RuntimeConfig(async_completions=False, profiling=True,
+                        write_path="zerocopy", sample_interval=0.05)
+    with ServerFixture(ShardedReactorServer(UpperHooks(), cfg,
+                                            shards=2)) as srv:
+        for _ in range(4):
+            assert srv.request(b"z\n") == b"Z\n"
+        server = srv.server
+        wait_until(lambda: sum(server.accepted_per_shard) == 4,
+                   message=f"placed {server.accepted_per_shard}")
+        wait_until(lambda: server.open_connections == 0,
+                   message="connections still closing")
+
+        fields = server.status_fields()
+        keys = [key for key, _value in fields]
+        assert len(keys) == len(set(keys)), "duplicate status keys"
+        field_map = dict(fields)
+
+        per_shard = [dict(status_fields(shard.registry))
+                     for shard in server.shards]
+        scalar_keys = [key for key in per_shard[0]
+                       if key not in derived
+                       and not key.rsplit("-", 1)[-1] in
+                       ("count", "p50", "p90", "p99")]
+        assert "server_buffer_pool_hit_rate" in scalar_keys
+
+        for key in scalar_keys:
+            # once per shard, re-labelled...
+            for index in range(len(server.shards)):
+                if "{" in key:
+                    close = key.index("}")
+                    labelled = (key[:close] + f',shard="{index}"'
+                                + key[close:])
+                else:
+                    labelled = key + f'{{shard="{index}"}}'
+                assert labelled in field_map, labelled
+            # ...and exactly once at the aggregate level: the sum of
+            # the per-shard values, except rates, which average.
+            values = [float(shard_fields[key])
+                      for shard_fields in per_shard]
+            expected = (sum(values) / len(values) if "rate" in key
+                        else sum(values))
+            assert math.isclose(float(field_map[key]), expected,
+                                rel_tol=1e-6, abs_tol=1e-9), key
+
+        # Histogram quantiles stay per-shard only (they do not merge).
+        for index in range(len(server.shards)):
+            assert (f'server_request_seconds{{shard="{index}"}}-count'
+                    in field_map)
+        assert "server_request_seconds-count" not in field_map
+        # The pool hit rate is a rate: averaged, so still within [0, 1].
+        assert 0.0 <= float(
+            field_map["server_buffer_pool_hit_rate"]) <= 1.0
+
+
 def test_sharded_status_fields_aggregate_per_shard():
     cfg = RuntimeConfig(async_completions=False, profiling=True)
     with ServerFixture(ShardedReactorServer(UpperHooks(), cfg,

@@ -147,10 +147,52 @@ def test_status_observability_object_backs_the_page(server):
     assert "server_requests_total" in obs.prometheus()
 
 
+def test_status_trace_lists_recent_request_spans(server):
+    for _ in range(2):
+        assert b"200 OK" in http_get(
+            server.port, b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+    resp = http_get(server.port,
+                    b"GET /server-status?trace HTTP/1.1\r\nHost: x\r\n\r\n")
+    head, _, body = resp.partition(b"\r\n\r\n")
+    assert resp.startswith(b"HTTP/1.1 200 OK")
+    assert b"Content-Type: text/plain" in head
+    text = body.decode()
+    lines = text.splitlines()
+    assert lines[0].startswith("Traces: ")
+    assert int(lines[0].split(": ")[1]) >= 2
+    # Every span line names its trace and carries the stage timings.
+    span_lines = [line for line in lines[1:] if line]
+    assert span_lines
+    for line in span_lines:
+        assert line.startswith("trace=")
+        assert "total=" in line
+    assert any("decode=" in line and "handle=" in line
+               and "encode=" in line for line in span_lines)
+
+
+def test_status_trace_ids_match_the_exporter(server):
+    http_get(server.port, b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+    resp = http_get(server.port,
+                    b"GET /server-status?trace HTTP/1.1\r\nHost: x\r\n\r\n")
+    body = resp.partition(b"\r\n\r\n")[2].decode()
+    page_ids = {line.split()[0].removeprefix("trace=")
+                for line in body.splitlines() if line.startswith("trace=")}
+    exporter = server.reactor.observability.exporter
+    exported = {f"{record['trace_id']:016x}"
+                for record in exporter.records()}
+    # The page renders the exporter's ring (modulo spans finishing
+    # between the two reads): everything shown was really exported.
+    assert page_ids <= exported
+    assert page_ids
+
+
 def test_plain_build_answers_404(plain_server):
     assert not hasattr(plain_server.reactor, "observability")
     resp = http_get(plain_server.port,
                     b"GET /server-status?auto HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert resp.startswith(b"HTTP/1.1 404")
+    resp = http_get(plain_server.port,
+                    b"GET /server-status?trace HTTP/1.1\r\nHost: x\r\n\r\n")
     assert resp.startswith(b"HTTP/1.1 404")
     # The regular document tree is untouched by the status route.
     resp = http_get(plain_server.port,
