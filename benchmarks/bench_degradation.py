@@ -1,0 +1,92 @@
+"""O17 bench: goodput under deepening overload, graceful vs cliff.
+
+Runs the ``fig6-cliff`` sweep (50 ms decode bottleneck, clients pushed
+far past saturation) across the three admission-control variants and
+gates the shape the degradation plane exists to produce:
+
+* the O17 build holds >= 70% of its peak goodput at the deepest
+  overload (graceful);
+* both baselines — no control, and O9's silent postpone — collapse
+  (the cliff);
+* throughput is NOT degraded by the shedding (the paper's Fig 6
+  observation carries over to O17's explicit rejections).
+
+The derived ratios CI gates (``BENCH_degradation.json``):
+``goodput_retention_2x`` — O17 goodput at max load over its peak — and
+``cliff_ratio`` — O17 retention over the best baseline retention.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    format_degradation_cliff,
+    goodput_retention,
+    run_degradation_cliff,
+)
+
+#: ``python -m repro.bench --smoke`` sets this: a shrunk sweep whose
+#: absolute goodput means little but whose retention ratios still
+#: collapse when the degradation plane breaks.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CLIENTS = (16, 64) if SMOKE else (16, 32, 64, 96)
+DURATION = 10.0 if SMOKE else 20.0
+WARMUP = 3.0 if SMOKE else 6.0
+
+
+def test_degradation_cliff(benchmark):
+    points = benchmark.pedantic(
+        run_degradation_cliff,
+        kwargs=dict(client_counts=CLIENTS, duration=DURATION,
+                    warmup=WARMUP),
+        rounds=1, iterations=1)
+
+    retention = {variant: goodput_retention(points, variant)
+                 for variant in ("none", "postpone", "degradation")}
+    baseline = max(retention["none"], retention["postpone"])
+
+    # Graceful: the O17 build holds >= 70% of peak goodput at the
+    # deepest overload point (>= 2x the saturating client count).
+    assert retention["degradation"] >= 0.70
+
+    # Cliff: without the plane, goodput collapses.
+    assert retention["none"] < 0.5
+    assert retention["postpone"] < 0.5
+    assert retention["degradation"] >= 2.0 * baseline
+
+    # Shedding does not degrade raw throughput (Fig 6's observation).
+    heavy = max(p.clients for p in points)
+    by_variant = {p.variant: p for p in points if p.clients == heavy}
+    assert (by_variant["degradation"].throughput
+            > 0.9 * by_variant["postpone"].throughput)
+
+    # The holds came from explicit decisions, not luck.
+    assert by_variant["degradation"].shed_total > 0
+
+    benchmark.extra_info["goodput_retention_2x"] = \
+        round(retention["degradation"], 4)
+    benchmark.extra_info["cliff_ratio"] = round(
+        retention["degradation"] / baseline if baseline > 0
+        else retention["degradation"] / 0.01, 4)
+    benchmark.extra_info["baseline_retention"] = round(baseline, 4)
+    benchmark.extra_info["clients"] = list(CLIENTS)
+
+    print()
+    print(format_degradation_cliff(points))
+
+
+@pytest.mark.skipif(SMOKE, reason="hill-climb search is not meaningful shrunk")
+def test_watermark_hill_climb(benchmark):
+    """The offline tuning loop finds a watermark at least as good as
+    the paper's hand-picked 20 (and stays inside its bounds)."""
+    from repro.experiments import tune_watermark
+
+    best, score = benchmark.pedantic(
+        tune_watermark,
+        kwargs=dict(clients=64, duration=6.0, warmup=2.0, budget=6),
+        rounds=1, iterations=1)
+    assert 4 <= best <= 64
+    assert score > 0
+    benchmark.extra_info["best_high"] = best
+    benchmark.extra_info["best_goodput"] = round(score, 2)

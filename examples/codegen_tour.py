@@ -11,7 +11,8 @@ Run:  python examples/codegen_tour.py
 import difflib
 
 from repro.co2p3s.crosscut import empirical_matrix, format_matrix
-from repro.co2p3s.nserver import ALL_FEATURES_ON, NSERVER, POOL_TOGGLE_BASE
+from repro.co2p3s.nserver import (ALL_FEATURES_ON, DEGRADATION_TOGGLE_BASE,
+                                  NSERVER, POOL_TOGGLE_BASE)
 
 
 def main() -> None:
@@ -42,7 +43,8 @@ def main() -> None:
     # 3. The whole Table 2, computed by generate-and-diff.
     print()
     matrix = empirical_matrix(NSERVER, ALL_FEATURES_ON,
-                              extra_bases=(POOL_TOGGLE_BASE,))
+                              extra_bases=(POOL_TOGGLE_BASE,
+                                           DEGRADATION_TOGGLE_BASE))
     print(format_matrix(matrix, title="Empirical crosscut matrix (Table 2):"))
 
 

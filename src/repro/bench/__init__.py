@@ -121,6 +121,17 @@ def _derived_zero_copy(benchmarks: Sequence[Mapping]) -> Dict[str, float]:
     return {}
 
 
+def _derived_degradation(benchmarks: Sequence[Mapping]) -> Dict[str, float]:
+    """The graceful-vs-cliff ratios the sweep itself computes."""
+    derived: Dict[str, float] = {}
+    for bench in benchmarks:
+        extra = bench.get("extra", {})
+        for key in ("goodput_retention_2x", "cliff_ratio"):
+            if isinstance(extra.get(key), (int, float)):
+                derived[key] = float(extra[key])
+    return derived
+
+
 @dataclass(frozen=True)
 class Suite:
     """One runnable bench suite and how to reduce its results."""
@@ -150,6 +161,11 @@ SUITES: Dict[str, Suite] = {
               options={"O15": ("buffered", "zerocopy")},
               derive=_derived_zero_copy,
               smoke_deselect=("test_zero_copy_speedup",)),
+        Suite(name="degradation",
+              file="bench_degradation.py",
+              options={"O17": (False, True)},
+              derive=_derived_degradation,
+              smoke_deselect=("test_watermark_hill_climb",)),
     )
 }
 

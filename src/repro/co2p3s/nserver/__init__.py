@@ -9,12 +9,14 @@ from repro.co2p3s.nserver.options import (
     ALL_FEATURES_ON,
     COPS_FTP_OPTIONS,
     COPS_HTTP_OPTIONS,
+    COPS_HTTP_DEGRADATION_OPTIONS,
     COPS_HTTP_OBSERVABILITY_OPTIONS,
     COPS_HTTP_OVERLOAD_OPTIONS,
     COPS_HTTP_RESILIENCE_OPTIONS,
     COPS_HTTP_SCHEDULING_OPTIONS,
     COPS_HTTP_SHARDED_OPTIONS,
     COPS_HTTP_ZEROCOPY_OPTIONS,
+    DEGRADATION_TOGGLE_BASE,
     NSERVER_OPTION_SPECS,
     POOL_TOGGLE_BASE,
     option_table_rows,
@@ -35,12 +37,14 @@ __all__ = [
     "TABLE2_EXTENSIONS",
     "COPS_FTP_OPTIONS",
     "COPS_HTTP_OPTIONS",
+    "COPS_HTTP_DEGRADATION_OPTIONS",
     "COPS_HTTP_OBSERVABILITY_OPTIONS",
     "COPS_HTTP_OVERLOAD_OPTIONS",
     "COPS_HTTP_RESILIENCE_OPTIONS",
     "COPS_HTTP_SCHEDULING_OPTIONS",
     "COPS_HTTP_SHARDED_OPTIONS",
     "COPS_HTTP_ZEROCOPY_OPTIONS",
+    "DEGRADATION_TOGGLE_BASE",
     "NSERVER",
     "NSERVER_MODULES",
     "NSERVER_OPTION_SPECS",

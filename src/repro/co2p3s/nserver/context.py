@@ -1,8 +1,8 @@
 """Substitution context for the N-Server template.
 
-Maps the options (the paper's twelve plus the O13 fault-tolerance and
-O14 reactor-shards extensions) to the ``$parameter`` values the
-fragments use.
+Maps the options (the paper's twelve plus the O13 fault-tolerance,
+O14 reactor-shards, O15 write-path and O17 degradation extensions) to
+the ``$parameter`` values the fragments use.
 Option-disabled instrumentation lines expand to :data:`OMIT`, which the
 fragment renderer deletes — this is the crosscutting weave: a feature's
 call sites exist in the generated text only when its option is on.
@@ -33,6 +33,7 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     resilient = bool(o["O13"])
     sharded = int(o["O14"]) > 1
     zerocopy = o["O15"] == "zerocopy"
+    degradation = bool(o["O17"])
 
     def on(flag: bool, line: str) -> str:
         return line if flag else OMIT
@@ -118,6 +119,20 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         overload, 'sampler.add_probe("server_postponed_accepts", '
                   'lambda: reactor.overload.postponed_accepts, '
                   'help="Accepts postponed by overload control")')
+    ctx["probe_shed_total"] = on(
+        degradation, 'sampler.add_probe("server_shed_total", '
+                     'lambda: reactor.degradation.shedding.shed_total, '
+                     'help="Connections and requests shed by the '
+                     'degradation policy")')
+    ctx["probe_brownout_level"] = on(
+        degradation, 'sampler.add_probe("server_brownout_level", '
+                     'lambda: reactor.degradation.brownout.level, '
+                     'help="Brownout degradation level (0..1)")')
+    ctx["probe_breaker_open"] = on(
+        degradation, 'sampler.add_probe("server_breaker_open", '
+                     'lambda: 0.0 if reactor.degradation.breaker.state '
+                     '== "closed" else 1.0, '
+                     'help="File-I/O circuit breaker not closed (0/1)")')
     ctx["probe_cache_hit_rate"] = on(
         cache is not None,
         'sampler.add_probe("server_cache_hit_rate", '
@@ -222,13 +237,19 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     ctx["make_cache"] = on(cache is not None, "self.cache = Cache(self)")
     ctx["make_buffers"] = on(zerocopy, "self.buffers = Buffers(self)")
     if pool and sched:
-        ctx["make_processor"] = (
-            "self.processor = EventProcessor(self, "
-            "rt.QuotaPriorityQueue(configuration.scheduling_quotas), "
-            "configuration.processor_threads)")
+        queue_expr = "rt.QuotaPriorityQueue(configuration.scheduling_quotas)"
     elif pool:
+        queue_expr = "rt.FifoEventQueue()"
+    else:
+        queue_expr = None
+    if queue_expr is not None and degradation:
+        # O17: the CoDel sojourn wrapper goes around whatever queue the
+        # other options chose (the Degradation component attaches the
+        # drop handler once it is built).
+        queue_expr = f"Degradation.wrap_queue(configuration, {queue_expr})"
+    if queue_expr is not None:
         ctx["make_processor"] = (
-            "self.processor = EventProcessor(self, rt.FifoEventQueue(), "
+            f"self.processor = EventProcessor(self, {queue_expr}, "
             "configuration.processor_threads)")
     else:
         ctx["make_processor"] = OMIT
@@ -245,10 +266,13 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     if async_io:
         sink = "self.processor.submit" if pool else "self.source.post"
         io_cache = "self.cache.file_cache" if cache is not None else "None"
+        io_extra = (", breaker=self.degradation.breaker, "
+                    "retry_budget=self.degradation.retry_budget"
+                    if degradation else "")
         ctx["make_file_io"] = (
             f"self.file_io = rt.AsyncFileIO(sink={sink}, "
             f"threads=configuration.file_io_threads, cache={io_cache}, "
-            f"root=configuration.document_root)")
+            f"root=configuration.document_root{io_extra})")
     else:
         ctx["make_file_io"] = OMIT
     ctx["dispatcher_threads_expr"] = (
@@ -338,6 +362,26 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         else "listen.try_accept()")
     ctx["log_drain"] = on(
         logging, 'self.log.info(f"draining (timeout={timeout}s)")')
+
+    # -- degradation module (O17) -------------------------------------------------
+    ctx["make_degradation"] = on(
+        degradation, "self.degradation = Degradation(self)")
+    ctx["start_degradation"] = on(degradation, "self.degradation.start()")
+    ctx["stop_degradation"] = on(degradation, "self.degradation.stop()")
+    # The adaptive controller reads the request p99 from the shared obs
+    # registry (O11) and logs its retunes (O12); without those options
+    # the constructor defaults (no probe, null log) apply.
+    ctx["adaptive_probe_arg"] = on(
+        profiling, "latency_probe=lambda: reactor.observability.registry"
+                   '.histogram("server_request_seconds").quantile(0.99),')
+    ctx["adaptive_log_arg"] = on(logging, "log=reactor.log,")
+    # Shed records carry the request trace id only when the tracing
+    # plane exists (O11) — an O11=No build must not mention trace ids.
+    ctx["accept_trace_id"] = (
+        'getattr(handle, "trace_id", 0)' if profiling else "0")
+    ctx["sojourn_trace_id"] = (
+        'getattr(handle, "trace_id", 0) if handle is not None else 0'
+        if profiling else "0")
 
     # -- sharding module (O14) ----------------------------------------------------
     ctx["shard_count"] = str(int(o["O14"]))

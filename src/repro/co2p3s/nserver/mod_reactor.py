@@ -4,9 +4,10 @@ Table 2 rows covered:
 
 ========  =========================================================
 Reactor   body depends on O1 O2 O4 O5 O6 O8 O9 O10 O11 O12 O13 O14
-          O15 (NOT O3 — step handlers are installed by the handlers
-          module's ``install_step_handlers``; NOT O7 — idle wiring
-          lives in ServerComponent / ServerEventHandler / Container)
+          O15 O17 (NOT O3 — step handlers are installed by the
+          handlers module's ``install_step_handlers``; NOT O7 — idle
+          wiring lives in ServerComponent / ServerEventHandler /
+          Container)
 Server    body depends on O3, O13 (the ``drain`` facade method) and
           O14 (delegation to the Sharding component)
 ========  =========================================================
@@ -76,6 +77,8 @@ MODULE_REACTOR = ModuleSpec(
                  guard=_o("O11"), options=("O11",)),
         Fragment("from $package.resilience import Resilience",
                  guard=_o("O13"), options=("O13",)),
+        Fragment("from $package.degradation import Degradation",
+                 guard=_o("O17"), options=("O17",)),
     ],
     classes=[
         ClassSpec(
@@ -106,6 +109,7 @@ MODULE_REACTOR = ModuleSpec(
                         $make_controller
                         $make_overload
                         $watch_overload
+                        $make_degradation
                         $make_file_io
                         handlers.install_step_handlers(self)
                         self.acceptor_event_handler = AcceptorEventHandler(self)
@@ -123,8 +127,11 @@ MODULE_REACTOR = ModuleSpec(
                     ''',
                     # $make_resilience comes last so EventQuarantine.attach
                     # chains (not clobbers) the Debug-mode error_hook.
+                    # $make_degradation sits between the overload
+                    # controller it upgrades and the file I/O it breaks.
                     options=("O1", "O2", "O4", "O5", "O6", "O8", "O9",
-                             "O10", "O11", "O12", "O13", "O14", "O15"),
+                             "O10", "O11", "O12", "O13", "O14", "O15",
+                             "O17"),
                 ),
                 # -- connection plumbing -------------------------------------
                 Fragment(
@@ -258,10 +265,12 @@ MODULE_REACTOR = ModuleSpec(
                         $start_controller
                         $start_file_io
                         $start_resilience
+                        $start_degradation
                         self.dispatcher.start()
                         $log_started
 
                     def stop(self):
+                        $stop_degradation
                         self.dispatcher.stop()
                         self.server_component.close()
                         self.container.close_all()
@@ -275,9 +284,11 @@ MODULE_REACTOR = ModuleSpec(
                         $log_stopped
                     ''',
                     # Resilience stops before the processor so a dead
-                    # worker is not respawned into a stopping pool.
+                    # worker is not respawned into a stopping pool; the
+                    # adaptive control loop stops before anything else so
+                    # it never retunes a dismantling server.
                     options=("O2", "O4", "O5", "O10", "O11", "O12", "O13",
-                             "O14"),
+                             "O14", "O17"),
                 ),
                 Fragment(
                     '''

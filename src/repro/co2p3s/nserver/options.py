@@ -23,7 +23,10 @@ __all__ = [
     "COPS_HTTP_OVERLOAD_OPTIONS",
     "COPS_HTTP_SHARDED_OPTIONS",
     "COPS_HTTP_ZEROCOPY_OPTIONS",
+    "COPS_HTTP_DEGRADATION_OPTIONS",
     "ALL_FEATURES_ON",
+    "POOL_TOGGLE_BASE",
+    "DEGRADATION_TOGGLE_BASE",
     "option_table_rows",
 ]
 
@@ -90,6 +93,15 @@ NSERVER_OPTION_SPECS = (
     OptionSpec(key="O15", name="Write path",
                describe_values="buffered/zerocopy", default="buffered",
                values=("buffered", "zerocopy")),
+    # Fourth structural extension: the graceful-degradation plane.
+    # O17=Yes upgrades O9's silent accept/postpone latch to explicit
+    # prioritized decisions — per-client rate limiting, cheap 503 +
+    # Retry-After rejection, CoDel sojourn drops, brownout, a
+    # circuit-broken file I/O plane and (optionally) AIMD watermark
+    # control.  O17=No is the paper's shape and emits zero new code.
+    OptionSpec(key="O17", name="Degradation policy",
+               describe_values="Yes/No", default=False,
+               values=(True, False)),
 )
 
 #: Table 1, COPS-FTP column.
@@ -156,6 +168,13 @@ COPS_HTTP_SHARDED_OPTIONS = dict(COPS_HTTP_RESILIENCE_OPTIONS, O14=4)
 #: scatter-gather send loop — the bench_zero_copy comparison shape.
 COPS_HTTP_ZEROCOPY_OPTIONS = dict(COPS_HTTP_OPTIONS, O15="zerocopy")
 
+#: COPS-HTTP with the graceful-degradation plane (O9+O11+O17): overload
+#: now *answers* — 503 + Retry-After, per-client rate limits, brownout —
+#: instead of silently postponing, with the whole plane observable on
+#: ``/server-status?auto``.  The graceful-vs-cliff experiment shape.
+COPS_HTTP_DEGRADATION_OPTIONS = dict(
+    COPS_HTTP_OBSERVABILITY_OPTIONS, O9=True, O17=True)
+
 #: Everything enabled — the base point for the Table 2 crosscut analysis
 #: (all optional classes exist, so existence toggles are observable).
 ALL_FEATURES_ON: Dict[str, object] = {
@@ -174,6 +193,7 @@ ALL_FEATURES_ON: Dict[str, object] = {
     "O13": True,
     "O14": 2,
     "O15": "zerocopy",
+    "O17": True,
 }
 
 #: Secondary crosscut base: with scheduling / overload / dynamic threads
@@ -182,7 +202,16 @@ ALL_FEATURES_ON: Dict[str, object] = {
 #: single-reactor accept path is observable too (at O14>1 the ACCEPT
 #: route goes through the Sharding component for every O9 value).
 POOL_TOGGLE_BASE: Dict[str, object] = dict(
-    ALL_FEATURES_ON, O5="Static", O8=False, O9=False, O14=1)
+    ALL_FEATURES_ON, O5="Static", O8=False, O9=False, O14=1, O17=False)
+
+#: Third crosscut base: with the degradation plane off, O9 (which
+#: O17 requires) becomes legal to toggle again from an otherwise
+#: fully-featured *sharded* build — needed to observe the O9 column
+#: of classes that only exist at O14>1 (POOL_TOGGLE_BASE is
+#: single-reactor, and from ALL_FEATURES_ON the O9 toggle is rejected
+#: because O17=Yes depends on it).
+DEGRADATION_TOGGLE_BASE: Dict[str, object] = dict(
+    ALL_FEATURES_ON, O17=False)
 
 
 def _show(value) -> str:

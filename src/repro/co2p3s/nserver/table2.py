@@ -50,6 +50,7 @@ TABLE2_CLASS_ORDER = [
     "Resilience",
     "Sharding",
     "Buffers",
+    "Degradation",
 ]
 
 PAPER_TABLE2 = {
@@ -112,21 +113,32 @@ PAPER_TABLE2 = {
 #: component, the Communicator takes the shared header pool, the
 #: Server Component swaps in segmented out-buffers, the
 #: configuration carries the pool geometry and the Observability
-#: wire probes the pool hit rate.
+#: wire probes the pool hit rate.  The O17 graceful-degradation
+#: extension adds the Degradation row (exists iff O17; body depends
+#: on O11 — the adaptive controller reads the request-latency p99
+#: from the shared registry — and O12, the retune log argument) and
+#: '+' cells where the plane weaves in: the Reactor builds, starts
+#: and stops the component (and wraps the processor queue / breaks
+#: the file I/O through it), the accept loops (single-reactor and
+#: sharded) swap silent postponement for explicit shedding, the
+#: configuration carries the tuning block and the Observability
+#: wire probes shed totals, brownout level and breaker state.
 TABLE2_EXTENSIONS = {
     "Observability": {"O2": "+", "O6": "+", "O9": "+", "O10": "+",
-                      "O11": "O", "O14": "+", "O15": "+"},
+                      "O11": "O", "O14": "+", "O15": "+", "O17": "+"},
     "ServerComponent": {"O11": "+", "O14": "+", "O15": "+"},
-    "ServerConfiguration": {"O11": "+", "O13": "+", "O14": "+", "O15": "+"},
+    "ServerConfiguration": {"O11": "+", "O13": "+", "O14": "+", "O15": "+",
+                            "O17": "+"},
     "Resilience": {"O2": "+", "O11": "+", "O12": "+", "O13": "O"},
-    "Reactor": {"O13": "+", "O14": "+", "O15": "+"},
-    "AcceptorEventHandler": {"O13": "+"},
+    "Reactor": {"O13": "+", "O14": "+", "O15": "+", "O17": "+"},
+    "AcceptorEventHandler": {"O13": "+", "O17": "+"},
     "Server": {"O13": "+", "O14": "+"},
     "EventDispatcher": {"O14": "+"},
     "Sharding": {"O9": "+", "O11": "+", "O12": "+", "O13": "+",
-                 "O14": "O"},
+                 "O14": "O", "O17": "+"},
     "CommunicatorComponent": {"O15": "+"},
     "Buffers": {"O15": "O"},
+    "Degradation": {"O11": "+", "O12": "+", "O17": "O"},
 }
 
 

@@ -26,9 +26,21 @@ from repro.experiments.fig3_zerocopy import (
 )
 from repro.experiments.fig5 import format_fig5, run_fig5
 from repro.experiments.fig6 import format_fig6, run_fig6
+from repro.experiments.degradation import (
+    CliffPoint,
+    format_degradation_cliff,
+    goodput_retention,
+    run_degradation_cliff,
+    tune_watermark,
+)
 
 __all__ = [
     "CapacityPoint",
+    "CliffPoint",
+    "format_degradation_cliff",
+    "goodput_retention",
+    "run_degradation_cliff",
+    "tune_watermark",
     "format_fig3",
     "format_fig3_shards",
     "format_fig3_zerocopy",

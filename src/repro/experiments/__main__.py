@@ -15,6 +15,7 @@ import sys
 import time
 
 from repro.experiments import (
+    format_degradation_cliff,
     format_fig3,
     format_fig3_shards,
     format_fig3_zerocopy,
@@ -26,6 +27,7 @@ from repro.experiments import (
     format_table3,
     format_table4,
     run_capacity_sweep,
+    run_degradation_cliff,
     run_fig5,
     run_fig6,
     run_shard_sweep,
@@ -38,7 +40,7 @@ from repro.experiments import (
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4",
                "fig3", "fig4", "fig5", "fig6", "fig3-shards",
-               "fig3-zerocopy")
+               "fig3-zerocopy", "fig6-cliff")
 
 
 def run_one(name: str, quick: bool, cache: dict) -> str:
@@ -85,6 +87,12 @@ def run_one(name: str, quick: bool, cache: dict) -> str:
             duration=15.0 if quick else 30.0,
             warmup=4.0 if quick else 8.0)
         return format_fig6(points)
+    if name == "fig6-cliff":
+        points = run_degradation_cliff(
+            client_counts=(16, 64) if quick else (16, 32, 64, 96),
+            duration=10.0 if quick else 20.0,
+            warmup=3.0 if quick else 6.0)
+        return format_degradation_cliff(points)
     raise ValueError(name)
 
 

@@ -19,8 +19,10 @@ from repro.co2p3s.crosscut import (
 )
 from repro.co2p3s.nserver import (
     ALL_FEATURES_ON,
+    DEGRADATION_TOGGLE_BASE,
     EXPECTED_TABLE2,
     NSERVER,
+    NSERVER_OPTION_SPECS,
     PAPER_TABLE2,
     POOL_TOGGLE_BASE,
     TABLE2_CLASS_ORDER,
@@ -30,25 +32,27 @@ __all__ = ["Table2Result", "run_table2", "format_table2", "paper_matrix",
            "expected_matrix"]
 
 
-def _matrix_from(table, noptions: int) -> CrosscutMatrix:
+def _matrix_from(table, option_keys) -> CrosscutMatrix:
+    keys = list(option_keys)
     m = CrosscutMatrix(class_names=list(TABLE2_CLASS_ORDER),
-                       option_keys=[f"O{i}" for i in range(1, noptions + 1)])
+                       option_keys=keys)
     for name in TABLE2_CLASS_ORDER:
-        m.cells[name] = {f"O{i}": table.get(name, {}).get(f"O{i}", "")
-                         for i in range(1, noptions + 1)}
+        m.cells[name] = {key: table.get(name, {}).get(key, "")
+                         for key in keys}
     return m
 
 
 def paper_matrix() -> CrosscutMatrix:
     """The paper's published Table 2 (12 options, no extension rows)."""
-    return _matrix_from(PAPER_TABLE2, 12)
+    return _matrix_from(PAPER_TABLE2, [f"O{i}" for i in range(1, 13)])
 
 
 def expected_matrix() -> CrosscutMatrix:
     """Paper Table 2 plus this reproduction's observability (O11),
-    resilience (O13), reactor-shards (O14) and write-path (O15)
-    extensions."""
-    return _matrix_from(EXPECTED_TABLE2, 15)
+    resilience (O13), reactor-shards (O14), write-path (O15) and
+    degradation (O17) extensions."""
+    return _matrix_from(EXPECTED_TABLE2,
+                        [spec.key for spec in NSERVER_OPTION_SPECS])
 
 
 @dataclass
@@ -70,7 +74,8 @@ class Table2Result:
 
 def run_table2() -> Table2Result:
     emp = empirical_matrix(NSERVER, ALL_FEATURES_ON,
-                           extra_bases=(POOL_TOGGLE_BASE,))
+                           extra_bases=(POOL_TOGGLE_BASE,
+                                        DEGRADATION_TOGGLE_BASE))
     dec = declared_matrix(NSERVER, ALL_FEATURES_ON)
     return Table2Result(
         empirical=emp,

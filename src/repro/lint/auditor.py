@@ -21,9 +21,9 @@ configuration:
    match the template's declared fragment metadata and the checked-in
    :data:`~repro.co2p3s.nserver.table2.EXPECTED_TABLE2`.
 
-:func:`audit_suite` sweeps a configuration set that exercises all 15
+:func:`audit_suite` sweeps a configuration set that exercises all 16
 options: the shipped presets plus every single-option toggle from the
-two crosscut bases.
+three crosscut bases.
 """
 
 from __future__ import annotations
@@ -43,9 +43,11 @@ from repro.co2p3s.nserver.options import (
     ALL_FEATURES_ON,
     COPS_FTP_OPTIONS,
     COPS_HTTP_OPTIONS,
+    COPS_HTTP_DEGRADATION_OPTIONS,
     COPS_HTTP_RESILIENCE_OPTIONS,
     COPS_HTTP_SHARDED_OPTIONS,
     COPS_HTTP_ZEROCOPY_OPTIONS,
+    DEGRADATION_TOGGLE_BASE,
     POOL_TOGGLE_BASE,
 )
 from repro.co2p3s.nserver.table2 import EXPECTED_TABLE2
@@ -124,6 +126,31 @@ _O11_FORBIDDEN = re.compile(
     r"|FlightRecorder|flight_|\.flight\b",
     re.IGNORECASE)
 
+#: degradation vocabulary that must not survive into an O17=No build:
+#: the shedding policy, rate limiter, brownout, breaker, retry budget,
+#: sojourn queue and adaptive controller all belong to the degradation
+#: tentpole, whose generated call sites exist only when O17 is on.
+#: (bare ``shed``/``sheds`` would false-positive on the resilience
+#: module's prose — "sheds the poisoned event" — hence the targeted
+#: forms.)
+_O17_FORBIDDEN = re.compile(
+    r"degradation|\bshedding\b|\bshed_|ShedDecision|brownout"
+    r"|\bbreaker|RetryBudget|retry_budget|sojourn|rate_limit"
+    r"|RateLimiter|TokenBucket|rejection_response|retry_after"
+    r"|AdaptiveController|\badaptive_|hill_climb",
+    re.IGNORECASE)
+
+
+def _option_value(options, key: str, default):
+    """Exception-safe option lookup: audit callers may pass a full
+    OptionSet, a plain dict, or a partial stub."""
+    if options is None:
+        return default
+    try:
+        return options[key]
+    except Exception:
+        return default
+
 
 def audit_report(report, label: str,
                  options: Optional[Mapping[str, object]] = None
@@ -139,6 +166,7 @@ def audit_report(report, label: str,
     emitted = set(report.class_names())
     absent = class_universe() - emitted
     check_o11 = options is not None and not options["O11"]
+    check_o17 = options is not None and not _option_value(options, "O17", True)
     for filename, text in sorted(report.files.items()):
         where = f"{label}/{filename}"
         if check_o11 and filename != "__init__.py":
@@ -150,6 +178,16 @@ def audit_report(report, label: str,
                     location=where,
                     message=(f"O11=No build mentions {match.group(0)!r} — "
                              f"disabled observability left residue"),
+                ))
+        if check_o17 and filename != "__init__.py":
+            match = _O17_FORBIDDEN.search(text)
+            if match is not None:
+                findings.append(Finding(
+                    kind="audit",
+                    ident=f"audit:o17-purity:{filename}",
+                    location=where,
+                    message=(f"O17=No build mentions {match.group(0)!r} — "
+                             f"disabled degradation plane left residue"),
                 ))
         try:
             tree = ast.parse(text, filename=where)
@@ -249,11 +287,11 @@ def audit_config(options: Mapping[str, object], label: str,
 
 
 def suite_configs() -> List[Tuple[str, Dict[str, object]]]:
-    """(label, options) pairs exercising every one of the 15 options.
+    """(label, options) pairs exercising every one of the 16 options.
 
     The shipped presets cover the paper's configurations; on top, each
     option is toggled through each of its non-base legal values from
-    the two crosscut bases, skipping combinations the template's own
+    the three crosscut bases, skipping combinations the template's own
     constraints reject.
     """
     configs: List[Tuple[str, Dict[str, object]]] = [
@@ -262,12 +300,15 @@ def suite_configs() -> List[Tuple[str, Dict[str, object]]]:
         ("cops-http-resilient", dict(COPS_HTTP_RESILIENCE_OPTIONS)),
         ("cops-http-sharded", dict(COPS_HTTP_SHARDED_OPTIONS)),
         ("cops-http-zerocopy", dict(COPS_HTTP_ZEROCOPY_OPTIONS)),
+        ("cops-http-degradation", dict(COPS_HTTP_DEGRADATION_OPTIONS)),
         ("all-features-on", dict(ALL_FEATURES_ON)),
         ("pool-toggle-base", dict(POOL_TOGGLE_BASE)),
+        ("degradation-toggle-base", dict(DEGRADATION_TOGGLE_BASE)),
     ]
     seen = {tuple(sorted(c.items())) for _l, c in configs}
     for base_label, base in (("all-on", ALL_FEATURES_ON),
-                             ("pool-base", POOL_TOGGLE_BASE)):
+                             ("pool-base", POOL_TOGGLE_BASE),
+                             ("degradation-base", DEGRADATION_TOGGLE_BASE)):
         base_opts = NSERVER.configure(base)
         for spec in base_opts.specs:
             for value in spec.values or ():
@@ -312,7 +353,8 @@ def crosscut_findings() -> List[Finding]:
     """
     findings: List[Finding] = []
     derived = empirical_matrix(NSERVER, ALL_FEATURES_ON,
-                               extra_bases=(POOL_TOGGLE_BASE,),
+                               extra_bases=(POOL_TOGGLE_BASE,
+                                            DEGRADATION_TOGGLE_BASE),
                                canon=_ast_canon)
     declared = declared_matrix(NSERVER, ALL_FEATURES_ON)
     for name, key, derived_cell, declared_cell in derived.differences(declared):

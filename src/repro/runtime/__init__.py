@@ -19,6 +19,21 @@ from repro.runtime.buffers import (
 )
 from repro.runtime.communicator import CLOSE, PENDING, Communicator, ServerHooks
 from repro.runtime.container import Container
+from repro.runtime.degradation import (
+    AdaptiveController,
+    BrownoutController,
+    CircuitBreaker,
+    CircuitOpenError,
+    ClientRateLimiter,
+    RetryBudget,
+    ShedDecision,
+    SheddingPolicy,
+    SojournQueue,
+    TokenBucket,
+    hill_climb,
+    reject_handle,
+    rejection_response,
+)
 from repro.runtime.dispatcher import EventDispatcher
 from repro.runtime.event_source import (
     EventSource,
@@ -80,11 +95,16 @@ from repro.runtime.tracing import (
 __all__ = [
     "Acceptor",
     "AcceptEvent",
+    "AdaptiveController",
     "AsyncFileIO",
     "AsynchronousCompletionToken",
+    "BrownoutController",
     "BufferPool",
     "BufferPoolStats",
     "CLOSE",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ClientRateLimiter",
     "Communicator",
     "CompletionEvent",
     "ConnectEvent",
@@ -127,6 +147,7 @@ __all__ = [
     "ReactorServer",
     "ReactorShard",
     "ReadableEvent",
+    "RetryBudget",
     "RoundRobinPolicy",
     "RuntimeConfig",
     "ServerHooks",
@@ -134,17 +155,24 @@ __all__ = [
     "ServerProfile",
     "ShardPolicy",
     "ShardedReactorServer",
+    "ShedDecision",
+    "SheddingPolicy",
     "ShutdownEvent",
     "SocketEventSource",
     "SocketHandle",
+    "SojournQueue",
     "TimerEvent",
     "TimerEventSource",
+    "TokenBucket",
     "TraceRecord",
     "UserEvent",
     "Watermark",
     "WorkerSupervisor",
     "WritableEvent",
+    "hill_climb",
     "is_transient_accept_error",
     "make_shard_policy",
+    "reject_handle",
+    "rejection_response",
     "segment_bytes",
 ]

@@ -16,6 +16,7 @@ import time
 from typing import Callable, Optional
 
 from repro.obs.flight import GLOBAL as GLOBAL_FLIGHT
+from repro.runtime.degradation import reject_handle
 from repro.runtime.event_source import SocketEventSource
 from repro.runtime.events import AcceptEvent
 from repro.runtime.handles import ListenHandle, SocketHandle
@@ -46,11 +47,17 @@ class Acceptor:
         backoff: float = 0.05,
         register_accepted: bool = True,
         flight=None,
+        shedding=None,
     ):
         self.listen = listen
         self.source = source
         self.on_connection = on_connection
         self.overload = overload
+        #: O17 :class:`~repro.runtime.degradation.SheddingPolicy` — when
+        #: set, overload produces explicit decisions (cheap 503 + close)
+        #: and every accepted peer passes the per-client rate limit;
+        #: when None the paper's silent-postpone behaviour is unchanged.
+        self.shedding = shedding
         self.profiler = profiler
         #: lifecycle-event ring; always on (defaults to the process-wide
         #: recorder when the owning server did not pass its own).  The
@@ -66,6 +73,7 @@ class Acceptor:
         self.register_accepted = register_accepted
         self.accepted = 0
         self.postponed = 0
+        self.rejected = 0
         self.accept_errors = 0
 
     def open(self) -> None:
@@ -75,7 +83,15 @@ class Acceptor:
     def handle(self, event: AcceptEvent) -> None:
         """Drain the kernel accept queue (subject to overload control)."""
         while True:
-            if self.overload is not None and not self.overload.accepting():
+            decision = None
+            if self.shedding is not None:
+                decision = self.shedding.admit_accept()
+                if decision.action == "postpone":
+                    # Explicitly chosen postpone (on_overload="postpone"):
+                    # the policy already recorded the reason.
+                    self.postponed += 1
+                    return
+            elif self.overload is not None and not self.overload.accepting():
                 # Postpone: leave remaining connections in the kernel
                 # backlog; they will surface as another AcceptEvent.
                 self.postponed += 1
@@ -98,6 +114,20 @@ class Acceptor:
                 return
             if handle is None:
                 return
+            if decision is not None and not decision.admitted:
+                # Overload reject: keep draining the backlog, answering
+                # each waiting client with the cheap canned payload
+                # instead of stranding it (the policy's whole point).
+                self._reject(handle, decision)
+                continue
+            if self.shedding is not None:
+                client = handle.name.rsplit(":", 1)[0]
+                limited = self.shedding.admit_client(
+                    client, getattr(handle, "trace_id", 0))
+                if not limited.admitted:
+                    # admit_client recorded the shed already
+                    self._reject(handle, limited, record=False)
+                    continue
             handle.last_activity = self.clock()
             self.accepted += 1
             self.profiler.connection_accepted()
@@ -106,6 +136,20 @@ class Acceptor:
             self.on_connection(handle)
             if self.register_accepted:
                 self.source.register(handle)
+
+    def _reject(self, handle: SocketHandle, decision, record: bool = True) -> None:
+        """Cheap write-path rejection: canned payload, flush, close.
+
+        No Communicator is built, no handler runs, nothing touches disk —
+        the accepted socket only ever sees the preformatted bytes (empty
+        payload means reject-by-close for payload-less protocols).
+        """
+        self.rejected += 1
+        if record:
+            self.shedding.record_rejection(
+                decision, f"client={handle.name}",
+                getattr(handle, "trace_id", 0))
+        reject_handle(handle, self.shedding.reject_payload)
 
     def close(self) -> None:
         """Deregister and close the listen handle (idempotent)."""

@@ -11,6 +11,13 @@ handled on the same path as socket events).
 When a :class:`~repro.cache.FileCache` is attached (O6), cache hits
 complete immediately — still *asynchronously* from the caller's view,
 via the sink — and misses populate the cache after the disk read.
+
+The O17 degradation plane wraps the disk path in a
+:class:`~repro.runtime.degradation.CircuitBreaker`: while the breaker
+is open (a failing disk), reads fail fast at issue time instead of
+piling onto the worker queue, and a
+:class:`~repro.runtime.degradation.RetryBudget` bounds how often a
+failed read is retried before the error is surfaced.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import threading
 from typing import Callable, Optional
 
 from repro.cache import FileCache
+from repro.runtime.degradation import CircuitOpenError
 from repro.runtime.events import (
     AsynchronousCompletionToken,
     CompletionEvent,
@@ -42,12 +50,21 @@ class AsyncFileIO:
         threads: int = 2,
         cache: Optional[FileCache] = None,
         root: Optional[str] = None,
+        breaker=None,
+        retry_budget=None,
     ):
         if threads < 1:
             raise ValueError("threads must be >= 1")
         self.sink = sink
         self.cache = cache
         self.root = root
+        #: O17 circuit breaker around the disk path (None = unprotected)
+        self.breaker = breaker
+        #: O17 retry budget: one in-pool retry per failed read while the
+        #: budget allows (None = no retries)
+        self.retry_budget = retry_budget
+        self.breaker_rejections = 0
+        self.retries = 0
         #: optional fault hook called with the path before every disk
         #: read; raising OSError simulates a failing disk (fault plane)
         self.fault_hook: Optional[Callable[[str], None]] = None
@@ -87,7 +104,14 @@ class AsyncFileIO:
             self.sink(FileReadEvent(token=act, payload=got.payload,
                                     priority=priority))
             return
-        self._queue.push((path, act, priority))
+        # O17: while the breaker is open the disk is presumed dead —
+        # fail fast at issue time so nothing piles onto the pool queue.
+        if self.breaker is not None and not self.breaker.allow():
+            self.breaker_rejections += 1
+            self.sink(FileReadEvent(token=act, error=CircuitOpenError(path),
+                                    priority=priority))
+            return
+        self._queue.push((path, act, priority, 0))
 
     def _load(self, path: str) -> bytes:
         if self.fault_hook is not None:
@@ -112,13 +136,26 @@ class AsyncFileIO:
                 if self._queue.closed:
                     return
                 continue
-            path, act, priority = item
+            path, act, priority, attempt = item
             self.reads += 1
             try:
                 data = self._load(path)
             except OSError as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if (attempt == 0
+                        and self.retry_budget is not None
+                        and (self.breaker is None or self.breaker.allow())
+                        and self.retry_budget.can_retry()):
+                    self.retries += 1
+                    self._queue.push((path, act, priority, 1))
+                    continue
                 self.sink(FileReadEvent(token=act, error=exc,
                                         priority=priority))
             else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                if self.retry_budget is not None:
+                    self.retry_budget.record_request()
                 self.sink(FileReadEvent(token=act, payload=data,
                                         priority=priority))

@@ -13,12 +13,21 @@ The paper provides two mechanisms:
 Fig 6 uses mechanism 2 with high=20 / low=5 on the reactive Event
 Processor queue.  :class:`OverloadController` implements both; the
 Acceptor asks :meth:`accepting` before taking new connections.
+
+All mutable state lives behind one tracked lock: ``accepting()`` runs on
+the dispatcher thread, ``connection_opened``/``connection_closed`` on
+acceptor and teardown paths, ``status()`` on the O11 sampler thread, and
+the O17 :class:`~repro.runtime.degradation.AdaptiveController` retunes
+watermarks from its own control loop — the lockset annotations let the
+race detector prove they never collide.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
+
+from repro.lint.locks import access, make_lock, shared
 
 __all__ = ["Watermark", "OverloadController"]
 
@@ -45,10 +54,12 @@ class OverloadController:
     length < low (hysteresis, so accepts don't flap).
     """
 
-    def __init__(self, max_connections: Optional[int] = None):
+    def __init__(self, max_connections: Optional[int] = None,
+                 flight=None, trip_dump_after: Optional[int] = None):
         if max_connections is not None and max_connections < 1:
             raise ValueError("max_connections must be >= 1")
         self.max_connections = max_connections
+        self._lock = make_lock("OverloadController")
         self._probes: Dict[str, Callable[[], int]] = {}
         self._marks: Dict[str, Watermark] = {}
         self._tripped: Dict[str, bool] = {}
@@ -56,50 +67,143 @@ class OverloadController:
         self.open_connections = 0
         #: accounting for the experiment harness
         self.postponed_accepts = 0
+        #: flight recorder receiving trip/clear transitions and the
+        #: sustained-overload dump (None disables both)
+        self.flight = flight
+        #: consecutive postponed accepts that trigger one flight-ring
+        #: snapshot (evidence of *why* hits disk during the storm);
+        #: None disables the dump
+        self.trip_dump_after = trip_dump_after
+        self._postponed_streak = 0
+        self._trip_dumped = False
+        shared(self, "_tripped", "open_connections", "postponed_accepts",
+               "_postponed_streak",
+               label="overload admission state (dispatcher vs sampler "
+                     "vs adaptive controller)")
 
     def watch(self, name: str, probe: Callable[[], int], mark: Watermark) -> None:
         """Register a queue to watch.  ``probe()`` must return its length."""
-        self._probes[name] = probe
-        self._marks[name] = mark
-        self._tripped[name] = False
+        with self._lock:
+            self._probes[name] = probe
+            self._marks[name] = mark
+            access(self, "_tripped")
+            self._tripped[name] = False
 
     def unwatch(self, name: str) -> None:
-        self._probes.pop(name, None)
-        self._marks.pop(name, None)
-        self._tripped.pop(name, None)
+        """Forget a watched queue (idempotent)."""
+        with self._lock:
+            self._probes.pop(name, None)
+            self._marks.pop(name, None)
+            access(self, "_tripped")
+            self._tripped.pop(name, None)
+
+    # -- watermark access (the O17 adaptive controller's surface) --------
+    def watermark(self, name: str) -> Optional[Watermark]:
+        """The current hysteresis pair for one watched queue."""
+        with self._lock:
+            return self._marks.get(name)
+
+    def retune(self, name: str, high: int, low: int) -> None:
+        """Replace a queue's watermarks in place (validated).
+
+        The tripped latch is preserved: hysteresis keeps working across
+        a retune, so the adaptive controller cannot cause flapping by
+        merely moving the band.
+        """
+        mark = Watermark(high=high, low=low)  # validates
+        with self._lock:
+            if name not in self._marks:
+                raise KeyError(f"no watched queue named {name!r}")
+            self._marks[name] = mark
 
     # -- connection accounting (mechanism 1) -----------------------------
     def connection_opened(self) -> None:
-        self.open_connections += 1
+        """The Acceptor took one more connection."""
+        with self._lock:
+            access(self, "open_connections")
+            self.open_connections += 1
 
     def connection_closed(self) -> None:
-        self.open_connections = max(0, self.open_connections - 1)
+        """One connection tore down."""
+        with self._lock:
+            access(self, "open_connections")
+            self.open_connections = max(0, self.open_connections - 1)
+
+    def at_connection_limit(self) -> bool:
+        """Is mechanism 1 (the connection cap) the binding constraint?"""
+        with self._lock:
+            access(self, "open_connections", write=False)
+            return (self.max_connections is not None
+                    and self.open_connections >= self.max_connections)
 
     # -- the admission decision -------------------------------------------
+    def _postponed(self) -> None:
+        """Account one postponed accept (caller holds the lock); a
+        sustained streak dumps the flight ring once per episode.  The
+        dump itself runs on a one-shot thread: the accept path must
+        never block on disk."""
+        access(self, "postponed_accepts")
+        self.postponed_accepts += 1
+        access(self, "_postponed_streak")
+        self._postponed_streak += 1
+        if (self.trip_dump_after is not None
+                and self.flight is not None
+                and not self._trip_dumped
+                and self._postponed_streak >= self.trip_dump_after):
+            self._trip_dumped = True
+            import threading
+
+            def _dump(flight=self.flight):
+                try:
+                    flight.snapshot("sustained-overload")
+                except OSError:  # pragma: no cover - disk trouble
+                    pass
+
+            threading.Thread(target=_dump, daemon=True,
+                             name="overload-dump").start()
+
     def accepting(self) -> bool:
         """May the Acceptor take a new connection right now?"""
-        if (self.max_connections is not None
-                and self.open_connections >= self.max_connections):
-            self.postponed_accepts += 1
-            return False
-        for name, probe in self._probes.items():
-            mark = self._marks[name]
-            length = probe()
-            if self._tripped[name]:
-                if length < mark.low:
-                    self._tripped[name] = False
-                else:
-                    self.postponed_accepts += 1
-                    return False
-            elif length > mark.high:
-                self._tripped[name] = True
-                self.postponed_accepts += 1
+        with self._lock:
+            access(self, "open_connections", write=False)
+            if (self.max_connections is not None
+                    and self.open_connections >= self.max_connections):
+                self._postponed()
                 return False
-        return True
+            for name, probe in self._probes.items():
+                mark = self._marks[name]
+                length = probe()
+                access(self, "_tripped")
+                if self._tripped[name]:
+                    if length < mark.low:
+                        self._tripped[name] = False
+                        if self.flight is not None:
+                            self.flight.record(
+                                "overload-clear",
+                                f"queue={name} length={length}")
+                    else:
+                        self._postponed()
+                        return False
+                elif length > mark.high:
+                    self._tripped[name] = True
+                    if self.flight is not None:
+                        self.flight.record(
+                            "overload-trip",
+                            f"queue={name} length={length} "
+                            f"high={mark.high}")
+                    self._postponed()
+                    return False
+            access(self, "_postponed_streak")
+            self._postponed_streak = 0
+            self._trip_dumped = False
+            return True
 
     def overloaded_queues(self) -> list:
         """Names of queues currently in the tripped state."""
-        return [name for name, tripped in self._tripped.items() if tripped]
+        with self._lock:
+            access(self, "_tripped", write=False)
+            return [name for name, tripped in self._tripped.items()
+                    if tripped]
 
     def status(self) -> dict:
         """Snapshot of the controller state for samplers / status pages.
@@ -107,23 +211,32 @@ class OverloadController:
         Unlike :meth:`accepting` this is read-only: probing lengths here
         never trips or clears a watermark latch.
         """
+        with self._lock:
+            probes = dict(self._probes)
+            marks = dict(self._marks)
+            access(self, "_tripped", write=False)
+            tripped = dict(self._tripped)
+            access(self, "open_connections", write=False)
+            open_connections = self.open_connections
+            access(self, "postponed_accepts", write=False)
+            postponed = self.postponed_accepts
         queues = {}
-        for name, probe in self._probes.items():
+        for name, probe in probes.items():
             try:
                 length = probe()
             except Exception:  # noqa: BLE001 - status must not raise
                 length = None
-            mark = self._marks[name]
+            mark = marks[name]
             queues[name] = {
                 "length": length,
                 "high": mark.high,
                 "low": mark.low,
-                "tripped": self._tripped[name],
+                "tripped": tripped[name],
             }
         return {
-            "open_connections": self.open_connections,
+            "open_connections": open_connections,
             "max_connections": self.max_connections,
-            "postponed_accepts": self.postponed_accepts,
-            "tripped": self.overloaded_queues(),
+            "postponed_accepts": postponed,
+            "tripped": [name for name, t in tripped.items() if t],
             "queues": queues,
         }

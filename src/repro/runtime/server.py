@@ -32,6 +32,18 @@ from repro.obs.spans import NULL_SPANS, SpanRecorder
 from repro.runtime.acceptor import Acceptor
 from repro.runtime.communicator import Communicator, ServerHooks
 from repro.runtime.container import Container
+from repro.runtime.degradation import (
+    REASON_QUEUE_DEADLINE,
+    AdaptiveController,
+    BrownoutController,
+    CircuitBreaker,
+    ClientRateLimiter,
+    RetryBudget,
+    ShedDecision,
+    SheddingPolicy,
+    SojournQueue,
+    rejection_response,
+)
 from repro.runtime.dispatcher import EventDispatcher
 from repro.runtime.event_source import (
     QueueEventSource,
@@ -85,6 +97,27 @@ class RuntimeConfig:
     flight_capacity: int = 4096                 # always-on lifecycle ring
     flight_dump_dir: Optional[str] = None       # where crash dumps land
     fault_tolerance: bool = False               # O13
+    degradation: bool = False                   # O17
+    shed_rate: float = 100.0                    # O17 per-client tokens/sec
+    shed_burst: float = 20.0                    # O17 per-client burst
+    shed_max_clients: int = 1024                # O17 rate-limiter LRU bound
+    shed_retry_after: float = 1.0               # O17 Retry-After seconds
+    shed_on_overload: str = "reject"            # O17: "reject"/"postpone"
+    shed_classes: dict = field(default_factory=dict)  # O17 class -> priority
+    shed_priority_floor: int = 1                # O17 shed classes below this
+    sojourn_deadline: Optional[float] = None    # O17 CoDel queue deadline
+    sojourn_interval: float = 0.1               # O17 CoDel interval
+    breaker_failures: int = 5                   # O17 file-I/O breaker trip
+    breaker_recovery: float = 5.0               # O17 breaker open time
+    breaker_probes: int = 1                     # O17 half-open probe quota
+    retry_budget_ratio: float = 0.1             # O17 retries per request
+    brownout_stale_threshold: float = 0.25      # O17 serve-stale level
+    brownout_bound_threshold: float = 0.5       # O17 response-cap level
+    brownout_max_response: int = 64 * 1024      # O17 base response cap
+    adaptive_control: bool = False              # O17 AIMD watermark tuning
+    adaptive_target_p99: float = 0.25           # O17 p99 target (seconds)
+    adaptive_interval: float = 1.0              # O17 control-loop period
+    overload_dump_after: Optional[int] = None   # O17 flight dump on streak
     write_path: str = "buffered"                # O15: "buffered"/"zerocopy"
     buffer_size_classes: tuple = (1024, 4096, 16384, 65536)
     buffer_pool_limit: int = 64                 # free buffers kept per class
@@ -189,6 +222,19 @@ class ReactorServer:
         else:
             queue = FifoEventQueue()
 
+        # O17: CoDel-style sojourn-deadline drops on the reactive queue.
+        # Only READABLE events are sheddable: completions carry replies
+        # already owed and retire pills are control flow.
+        if config.degradation and config.sojourn_deadline is not None:
+            queue = SojournQueue(
+                queue,
+                deadline=config.sojourn_deadline,
+                interval=config.sojourn_interval,
+                on_drop=self._on_sojourn_drop,
+                droppable=lambda e: getattr(e, "kind", None)
+                == EventKind.READABLE,
+            )
+
         # O2/O5: the reactive Event Processor (or inline handling).
         self.processor: Optional[EventProcessor] = None
         self.controller: Optional[ProcessorController] = None
@@ -210,7 +256,9 @@ class ReactorServer:
         self.overload: Optional[OverloadController] = None
         if config.overload_control or config.max_connections is not None:
             self.overload = OverloadController(
-                max_connections=config.max_connections)
+                max_connections=config.max_connections,
+                flight=self.flight,
+                trip_dump_after=config.overload_dump_after)
             if config.overload_control and self.processor is not None:
                 self.overload.watch(
                     "reactive",
@@ -218,6 +266,41 @@ class ReactorServer:
                     mark=Watermark(high=config.overload_high,
                                    low=config.overload_low),
                 )
+
+        # O17: the graceful-degradation plane — explicit prioritized
+        # shedding, brownout for content hooks, circuit-broken file I/O
+        # and (optionally) AIMD watermark control.
+        self.shedding: Optional[SheddingPolicy] = None
+        self.brownout: Optional[BrownoutController] = None
+        self.breaker: Optional[CircuitBreaker] = None
+        self.retry_budget: Optional[RetryBudget] = None
+        self.adaptive: Optional[AdaptiveController] = None
+        self._reject_payload = b""
+        if config.degradation:
+            self._reject_payload = rejection_response(config.shed_retry_after)
+            self.shedding = SheddingPolicy(
+                overload=self.overload,
+                limiter=ClientRateLimiter(
+                    rate=config.shed_rate,
+                    burst=config.shed_burst,
+                    max_clients=config.shed_max_clients),
+                classes=dict(config.shed_classes),
+                priority_floor=config.shed_priority_floor,
+                retry_after=config.shed_retry_after,
+                reject_payload=self._reject_payload,
+                on_overload=config.shed_on_overload,
+                flight=self.flight,
+            )
+            self.brownout = BrownoutController(
+                stale_threshold=config.brownout_stale_threshold,
+                bound_threshold=config.brownout_bound_threshold,
+                max_response_bytes=config.brownout_max_response)
+            self.breaker = CircuitBreaker(
+                name="file-io",
+                failure_threshold=config.breaker_failures,
+                recovery_time=config.breaker_recovery,
+                probe_quota=config.breaker_probes)
+            self.retry_budget = RetryBudget(ratio=config.retry_budget_ratio)
 
         # O4: asynchronous completions (emulated non-blocking file I/O).
         self.file_io: Optional[AsyncFileIO] = None
@@ -229,6 +312,8 @@ class ReactorServer:
                 threads=config.file_io_threads,
                 cache=self.cache,
                 root=config.document_root,
+                breaker=self.breaker,
+                retry_budget=self.retry_budget,
             )
 
         # O7: idle-connection reaper.
@@ -280,7 +365,38 @@ class ReactorServer:
                     "server_buffer_pool_hit_rate",
                     lambda: self.buffer_pool.stats.hit_rate,
                     help="Header buffer pool hit rate (0..1)")
+            if self.shedding is not None:
+                sampler.add_probe(
+                    "server_shed_total",
+                    lambda: self.shedding.shed_total,
+                    help="Requests/connections shed by the O17 policy")
+            if self.brownout is not None:
+                sampler.add_probe(
+                    "server_brownout_level",
+                    lambda: self.brownout.level,
+                    help="Brownout degradation level (0..1)")
+            if self.breaker is not None:
+                sampler.add_probe(
+                    "server_breaker_open",
+                    lambda: 0.0 if self.breaker.state == CircuitBreaker.CLOSED
+                    else 1.0,
+                    help="File-I/O circuit breaker not closed (0/1)")
             self.sampler = sampler
+
+        # O17: AIMD control loop retuning the O9 watermarks (and the
+        # brownout level) from the O11 p99 latency signal.
+        if (config.degradation and config.adaptive_control
+                and self.overload is not None):
+            self.adaptive = AdaptiveController(
+                self.overload,
+                queue_name="reactive",
+                latency_probe=lambda: self.registry.histogram(
+                    "server_request_seconds").quantile(0.99),
+                brownout=self.brownout,
+                target_p99=config.adaptive_target_p99,
+                interval=config.adaptive_interval,
+                log=self.log,
+            )
 
         # O13: resilience runtime — per-stage deadlines, worker
         # supervision, poison-event quarantine.  Counters land in the
@@ -378,6 +494,25 @@ class ReactorServer:
             self.log.info(f"reaping idle connection {handle.name}")
             conn.close()
 
+    def _on_sojourn_drop(self, event, sojourn: float) -> None:
+        """A queued event blew its sojourn deadline (O17): instead of
+        serving it uselessly late, 503 the victim connection and close.
+        Runs on the Event Processor worker that popped the stale item."""
+        handle = getattr(event, "handle", None)
+        trace_id = getattr(handle, "trace_id", 0) if handle is not None else 0
+        if self.shedding is not None:
+            self.shedding.record_rejection(
+                ShedDecision("reject", REASON_QUEUE_DEADLINE,
+                             self.config.shed_retry_after),
+                f"sojourn={sojourn:.3f}s", trace_id)
+        conn = self.container.lookup(handle) if handle is not None else None
+        if conn is None:
+            return
+        if self._reject_payload:
+            conn.send_bytes(self._reject_payload, close_after=True)
+        else:
+            conn.close()
+
     # -- event processing -------------------------------------------------
     def _process_event(self, event) -> None:
         """Reactive Event Processor handler: socket readiness and
@@ -438,6 +573,7 @@ class ReactorServer:
             overload=self.overload,
             profiler=self.profiler,
             flight=self.flight,
+            shedding=self.shedding,
         )
         self.dispatcher.route(EventKind.ACCEPT, self.acceptor.handle)
         self.acceptor.open()
@@ -457,12 +593,16 @@ class ReactorServer:
             self.supervisor.start()
         if self.sampler is not None:
             self.sampler.start()
+        if self.adaptive is not None:
+            self.adaptive.start()
 
     def stop(self) -> None:
         with self._lock:
             if not self._started:
                 return
             self._started = False
+        if self.adaptive is not None:
+            self.adaptive.stop()
         self.dispatcher.stop()
         if self.acceptor is not None:
             self.acceptor.close()
@@ -529,6 +669,20 @@ class ReactorServer:
                 self.processor.queue_length or self.processor.busy_count):
             return False
         return all(not conn.busy() for conn in self.container.connections())
+
+    # -- degradation -----------------------------------------------------
+    def degradation_status(self) -> dict:
+        """O17 plane snapshot for status pages (empty when disabled)."""
+        if self.shedding is None:
+            return {}
+        status = {"shed": self.shedding.status()}
+        if self.brownout is not None:
+            status["brownout"] = self.brownout.status()
+        if self.breaker is not None:
+            status["breaker"] = self.breaker.status()
+        if self.adaptive is not None:
+            status["adaptive"] = self.adaptive.status()
+        return status
 
     # -- tracing ---------------------------------------------------------
     def trace_records(self) -> list:

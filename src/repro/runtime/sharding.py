@@ -184,6 +184,22 @@ class _ShardGate:
         """Per-shard controllers account in ``adopt``; nothing to do."""
         pass
 
+    def at_connection_limit(self) -> bool:
+        """Is the connection cap the binding constraint on every shard?
+        (The O17 shedding policy uses this to pick a reason code.)"""
+        gated = [s.overload for s in self._shards if s.overload is not None]
+        return bool(gated) and all(g.at_connection_limit() for g in gated)
+
+    def overloaded_queues(self) -> list:
+        """Tripped queues across all shards, shard-qualified names."""
+        names = []
+        for shard in self._shards:
+            if shard.overload is not None:
+                names.extend(
+                    f"shard{shard.shard_id}:{name}"
+                    for name in shard.overload.overloaded_queues())
+        return names
+
 
 class ShardedReactorServer:
     """N reactor shards behind one Acceptor.
@@ -231,6 +247,29 @@ class ShardedReactorServer:
         self._gate = (_ShardGate(self.shards)
                       if any(s.overload is not None for s in self.shards)
                       else None)
+        #: O17: the accept plane runs its own SheddingPolicy over the
+        #: shard gate — rejection happens before placement, so a shed
+        #: storm never touches a shard's event sources at all
+        self.shedding = None
+        if config.degradation:
+            from repro.runtime.degradation import (
+                ClientRateLimiter,
+                SheddingPolicy,
+                rejection_response,
+            )
+            self.shedding = SheddingPolicy(
+                overload=self._gate,
+                limiter=ClientRateLimiter(
+                    rate=config.shed_rate,
+                    burst=config.shed_burst,
+                    max_clients=config.shed_max_clients),
+                classes=dict(config.shed_classes),
+                priority_floor=config.shed_priority_floor,
+                retry_after=config.shed_retry_after,
+                reject_payload=rejection_response(config.shed_retry_after),
+                on_overload=config.shed_on_overload,
+                flight=self.flight,
+            )
         self._started = False
         self._start_time: Optional[float] = None
         self._lock = make_lock("ShardedReactorServer")
@@ -280,6 +319,7 @@ class ShardedReactorServer:
             overload=self._gate,
             register_accepted=False,
             flight=self.flight,
+            shedding=self.shedding,
         )
         self.accept_dispatcher.route(EventKind.ACCEPT, self.acceptor.handle)
         self.acceptor.open()
@@ -346,6 +386,15 @@ class ShardedReactorServer:
         fields = self.status_fields()
         return render_status_auto(fields) if auto \
             else render_status_html(fields)
+
+    def degradation_status(self) -> dict:
+        """Accept-plane O17 snapshot plus every shard's own plane."""
+        if self.shedding is None:
+            return {}
+        return {
+            "shed": self.shedding.status(),
+            "shards": [shard.degradation_status() for shard in self.shards],
+        }
 
     def trace_records(self) -> list:
         """Finished span records merged from every shard's exporter."""

@@ -19,6 +19,7 @@ import tempfile
 from typing import Optional
 
 from repro import http
+from repro.servers import http_degradation as o17
 from repro.co2p3s.nserver import COPS_HTTP_OPTIONS, NSERVER
 from repro.co2p3s.template import load_generated_package
 from repro.runtime import AsynchronousCompletionToken, PENDING, ServerHooks
@@ -71,6 +72,29 @@ class CopsHttpHooks(ServerHooks):
         keep_alive = request.keep_alive
         version = request.version
 
+        # O17: per-request priority shedding — under a tripped
+        # watermark, classes below the policy floor answer 503 without
+        # ever touching the file I/O plane.
+        plane = o17.degradation_plane(conn)
+        shedding = getattr(plane, "shedding", None)
+        if shedding is not None:
+            decision = shedding.admit_request(
+                self.classify_request(request),
+                getattr(conn.handle, "trace_id", 0))
+            if not decision.admitted:
+                return o17.shed_response(request, decision)
+
+        # O17 brownout: above the stale threshold, answer from whatever
+        # the cache plane already holds — no disk, no revalidation.
+        brownout = getattr(plane, "brownout", None)
+        if brownout is not None and brownout.serve_stale:
+            stale = o17.stale_payload(conn, path)
+            if stale is not None:
+                brownout.served_stale()
+                return self._file_response(
+                    path, stale, head_only, keep_alive, version,
+                    brownout=brownout)
+
         act = AsynchronousCompletionToken(
             context=(path, head_only, keep_alive, version),
             on_complete=lambda event: self._file_ready(conn, event),
@@ -79,21 +103,56 @@ class CopsHttpHooks(ServerHooks):
             path, act, priority=conn.priority)
         return PENDING
 
+    def classify_request(self, request) -> str:
+        """O17 request class, priority-ordered: ``status`` (operator
+        traffic) > ``page`` (HTML) > ``asset`` (everything else, the
+        bulk bytes that shed first under pressure)."""
+        if request.path == self.status_path:
+            return "status"
+        if request.path.endswith("/") or request.path.endswith(".html"):
+            return "page"
+        return "asset"
+
+    def _file_response(self, path, payload, head_only, keep_alive, version,
+                       brownout=None):
+        """Build the 200 for a served file, applying the brownout
+        response cap when one is active."""
+        payload = o17.bound_payload(payload, brownout)
+        headers = http.Headers([
+            ("Content-Type", http.guess_type(path)),
+        ])
+        if not keep_alive:
+            headers.set("Connection", "close")
+        response = http.HttpResponse(status=200, headers=headers,
+                                     body=payload, version=version,
+                                     head_only=head_only)
+        response._close_after = not keep_alive
+        return response
+
     def _file_ready(self, conn, event) -> None:
         path, head_only, keep_alive, version = event.token.context
         if not event.ok:
+            # O17: a failing disk (or an open breaker) can still be
+            # browned out — answer stale from the cache plane rather
+            # than 404ing content we have in memory.
+            plane = o17.degradation_plane(conn)
+            brownout = getattr(plane, "brownout", None)
+            if brownout is not None and brownout.serve_stale:
+                stale = o17.stale_payload(conn, path)
+                if stale is not None:
+                    brownout.served_stale()
+                    conn.complete_request(self._file_response(
+                        path, stale, head_only, keep_alive, version,
+                        brownout=brownout))
+                    return
             response = http.error_response(404, version=version,
                                            close=not keep_alive)
+            response._close_after = not keep_alive
         else:
-            headers = http.Headers([
-                ("Content-Type", http.guess_type(path)),
-            ])
-            if not keep_alive:
-                headers.set("Connection", "close")
-            response = http.HttpResponse(status=200, headers=headers,
-                                         body=event.payload, version=version,
-                                         head_only=head_only)
-        response._close_after = not keep_alive
+            plane = o17.degradation_plane(conn)
+            response = self._file_response(
+                path, event.payload, head_only, keep_alive, version,
+                brownout=getattr(plane, "brownout", None))
         conn.complete_request(response)
 
     def _server_status(self, request, conn):
@@ -119,6 +178,10 @@ class CopsHttpHooks(ServerHooks):
             body = observability.status_report(auto=auto)
             content_type = ("text/plain; charset=utf-8" if auto
                             else "text/html; charset=utf-8")
+            if auto:
+                plane = o17.degradation_plane(conn)
+                if plane is not None:
+                    body += o17.degradation_report(plane)
         headers = http.Headers([("Content-Type", content_type)])
         if not keep_alive:
             headers.set("Connection", "close")
@@ -182,6 +245,7 @@ def build_cops_http(
     port: int = 0,
     shards: int = 1,
     write_path: str = "buffered",
+    degradation: bool = False,
     **config_overrides,
 ):
     """Generate the COPS-HTTP framework and return a started-able Server.
@@ -196,6 +260,11 @@ def build_cops_http(
     header buffers, cached bodies as memoryview segments, and a
     scatter-gather send loop instead of the copying write path.
 
+    ``degradation=True`` regenerates with option O17: explicit
+    prioritized load shedding (503 + ``Retry-After`` instead of silent
+    postpone), per-client rate limiting, brownout, and a circuit-broken
+    file I/O plane.
+
     Returns ``(server, framework_module, generation_report)``.
     """
     option_dict = dict(options or COPS_HTTP_OPTIONS)
@@ -203,6 +272,11 @@ def build_cops_http(
         option_dict["O14"] = shards
     if write_path != "buffered":
         option_dict["O15"] = write_path
+    if degradation:
+        # O17 rides on O9: the shedding policy consults the overload
+        # controller, so the degradation build always has one.
+        option_dict["O9"] = True
+        option_dict["O17"] = True
     opts = NSERVER.configure(option_dict)
     dest = dest or tempfile.mkdtemp(prefix="cops_http_")
     report = NSERVER.generate(opts, dest, package=package)
@@ -238,6 +312,8 @@ def main(argv=None) -> int:
     parser.add_argument("--write-path", default="buffered",
                         choices=("buffered", "zerocopy"),
                         help="response write path (template option O15)")
+    parser.add_argument("--degradation", action="store_true",
+                        help="generate with O17=Yes (graceful degradation)")
     args = parser.parse_args(argv)
 
     option_dict = dict(COPS_HTTP_OPTIONS)
@@ -248,12 +324,15 @@ def main(argv=None) -> int:
         overrides["shard_policy"] = args.policy
     server, _fw, _report = build_cops_http(
         args.root, options=option_dict, host=args.host, port=args.port,
-        shards=args.shards, write_path=args.write_path, **overrides)
+        shards=args.shards, write_path=args.write_path,
+        degradation=args.degradation, **overrides)
     server.start()
     shape = (f"{args.shards} shards ({args.policy})"
              if args.shards != 1 else "single reactor")
     if args.write_path != "buffered":
         shape += f", {args.write_path} write path"
+    if args.degradation:
+        shape += ", graceful degradation"
     print(f"COPS-HTTP serving {args.root} on "
           f"{args.host}:{server.port} — {shape}", flush=True)
     try:

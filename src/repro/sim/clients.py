@@ -62,6 +62,13 @@ def web_client(
             priority=b.priority, content_class=b.content_class,
             jitter=b.rto_jitter)
         metrics.record_connect(client_id, wait)
+        if conn.rejected:
+            # O17 fast failure: the server answered a cheap 503 with
+            # Retry-After instead of stranding us in the backlog —
+            # honour the hint and come back later.
+            metrics.record_shed(client_id)
+            yield sim.timeout(max(conn.retry_after, b.think_time))
+            continue
         amortized_wait = wait / b.requests_per_connection
         for _ in range(b.requests_per_connection):
             path, size = sampler()
@@ -72,6 +79,13 @@ def web_client(
                                  content_class=b.content_class)
             conn.requests.put(request)
             yield request.done
+            if request.rejected:
+                # Sojourn-deadline shed: the request came back as a
+                # fast 503; drop the connection and back off.
+                metrics.record_shed(client_id)
+                conn.close()
+                yield sim.timeout(max(request.retry_after, b.think_time))
+                break
             response_time = sim.now - started
             metrics.record_response(
                 client_id, size,
@@ -79,4 +93,5 @@ def web_client(
                 combined_time=response_time + amortized_wait,
                 content_class=b.content_class)
             yield sim.timeout(b.think_time + b.wan_delay)
-        conn.close()
+        else:
+            conn.close()

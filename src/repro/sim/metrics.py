@@ -27,6 +27,7 @@ class ExperimentMetrics:
         self.responses_by_client: Dict[int, int] = defaultdict(int)
         self.bytes_by_client: Dict[int, int] = defaultdict(int)
         self.responses_by_class: Dict[str, int] = defaultdict(int)
+        self.sheds_by_client: Dict[int, int] = defaultdict(int)
         self.response_times: List[float] = []
         self.combined_times: List[float] = []
         self.connect_waits: List[float] = []
@@ -55,6 +56,12 @@ class ExperimentMetrics:
         if self.recording:
             self.connect_waits.append(wait)
 
+    def record_shed(self, client_id: int) -> None:
+        """The client received an explicit rejection (O17: a 503 at the
+        accept edge or a sojourn-deadline drop)."""
+        if self.recording:
+            self.sheds_by_client[client_id] += 1
+
     # -- summaries --------------------------------------------------------
     @property
     def total_responses(self) -> int:
@@ -64,9 +71,23 @@ class ExperimentMetrics:
     def total_bytes(self) -> int:
         return sum(self.bytes_by_client.values())
 
+    @property
+    def total_sheds(self) -> int:
+        return sum(self.sheds_by_client.values())
+
     def throughput(self, duration: float) -> float:
         """Responses per second over the measurement window."""
         return self.total_responses / duration if duration > 0 else 0.0
+
+    def goodput(self, duration: float, deadline: float) -> float:
+        """Responses per second whose *client-experienced* time (the
+        combined response time, including the amortized connection
+        wait) met the deadline.  This is the graceful-vs-cliff metric:
+        a response the client had stopped waiting for is not good."""
+        if duration <= 0:
+            return 0.0
+        good = sum(1 for t in self.combined_times if t <= deadline)
+        return good / duration
 
     def class_throughput(self, content_class: str, duration: float) -> float:
         return (self.responses_by_class.get(content_class, 0) / duration

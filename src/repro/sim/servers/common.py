@@ -27,6 +27,10 @@ class SimRequest:
     done: SimEvent
     created_at: float
     content_class: str = "default"
+    #: the server shed this request after admission (O17 sojourn
+    #: deadline): ``done`` fires with a fast 503 instead of the page
+    rejected: bool = False
+    retry_after: float = 0.0
 
 
 @dataclass

@@ -13,7 +13,13 @@ Crucially this model runs the *real* feature implementations:
 * overload control is a real :class:`repro.runtime.OverloadController`
   with the paper's 20/5 watermarks (O9, Fig 6);
 * the file cache is a real :class:`repro.cache.Cache` with the LRU
-  policy (O6).
+  policy (O6);
+* graceful degradation is the real O17 plane on the simulated clock —
+  :class:`repro.runtime.SheddingPolicy` (with its per-client
+  :class:`repro.runtime.ClientRateLimiter` token buckets) decides the
+  accept edge, a :class:`repro.runtime.SojournQueue` drops stale queued
+  requests CoDel-style, and the :class:`repro.runtime.AdaptiveController`
+  retunes the watermarks by AIMD on the observed p99.
 
 Event-driven overhead is modelled as per-event readiness-scan CPU that
 grows with open connections (select/poll walks every handle) plus a
@@ -22,13 +28,18 @@ small dispatch latency (poll batching).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.cache import Cache, make_policy
 from repro.runtime import (
+    AdaptiveController,
+    ClientRateLimiter,
     FifoEventQueue,
     OverloadController,
     QuotaPriorityQueue,
+    ShedDecision,
+    SheddingPolicy,
+    SojournQueue,
     Watermark,
 )
 from repro.sim.core import Resource, Store
@@ -63,6 +74,17 @@ class EventDrivenServer(BaseSimServer):
         overload_low: int = 5,
         overload_check: float = 0.005,
         accept_latency: float = 0.001,
+        degradation: bool = False,
+        shed_rate: float = 5.0,
+        shed_burst: float = 10.0,
+        shed_retry_after: float = 1.0,
+        sojourn_deadline: Optional[float] = 0.4,
+        sojourn_interval: float = 0.1,
+        reject_cpu: float = 0.0002,
+        reject_bytes: int = 512,
+        adaptive: bool = False,
+        adaptive_target_p99: float = 0.25,
+        adaptive_interval: float = 1.0,
     ):
         super().__init__(sim, link, disk, params)
         self.processor_threads = processor_threads
@@ -89,6 +111,40 @@ class EventDrivenServer(BaseSimServer):
             self.overload.watch(
                 "reactive", probe=lambda: len(self.queue),
                 mark=Watermark(high=overload_high, low=overload_low))
+        # Real O17 machinery: the degradation plane, on the sim clock.
+        self.shedding: Optional[SheddingPolicy] = None
+        self.adaptive: Optional[AdaptiveController] = None
+        self.reject_cpu = reject_cpu
+        self.reject_bytes = reject_bytes
+        self.rejected_connections = 0
+        self.rejected_requests = 0
+        self._latency_window: List[float] = []
+        if degradation:
+            if self.overload is None:
+                raise ValueError(
+                    "degradation requires overload control "
+                    "(the template's O17 -> O9 constraint)")
+            self.shedding = SheddingPolicy(
+                overload=self.overload,
+                limiter=ClientRateLimiter(
+                    rate=shed_rate, burst=shed_burst,
+                    clock=lambda: sim.now),
+                retry_after=shed_retry_after,
+                on_overload="reject")
+            if sojourn_deadline:
+                self.queue = SojournQueue(
+                    self.queue,
+                    deadline=sojourn_deadline,
+                    interval=sojourn_interval,
+                    on_drop=self._on_sojourn_drop,
+                    droppable=lambda item: item[0] == "request",
+                    clock=lambda: sim.now)
+            if adaptive:
+                self.adaptive = AdaptiveController(
+                    overload=self.overload,
+                    latency_probe=self._latency_p99,
+                    target_p99=adaptive_target_p99,
+                    interval=adaptive_interval)
         self._file_io = Resource(sim, capacity=file_io_threads)
         #: time between consecutive accepts: the acceptor shares the
         #: dispatcher with event processing, so accepts are paced — which
@@ -100,17 +156,24 @@ class EventDrivenServer(BaseSimServer):
         self.sim.process(self._acceptor(), name="acceptor")
         for i in range(self.processor_threads):
             self.sim.process(self._processor_worker(), name=f"reactive-{i}")
+        if self.adaptive is not None:
+            self.sim.process(self._adaptive_loop(), name="adaptive")
 
     # -- acceptor ----------------------------------------------------------
     def _acceptor(self):
         while True:
-            if self.overload is not None:
+            if self.overload is not None and self.shedding is None:
                 # Postpone accepts while a watched queue is over its high
                 # watermark: connections stay in the kernel backlog and
                 # excess SYNs get dropped (the Fig 6 mechanism).
                 while not self.overload.accepting():
                     yield self.sim.timeout(self.overload_check)
             conn = yield self.listen.accept()
+            if self.shedding is not None and not self._admit(conn):
+                # Rejects keep draining the backlog at full speed: the
+                # whole point of the cheap write path is that a waiting
+                # client costs one canned send instead of a service slot.
+                continue
             conn.priority = self.priority_of_class.get(
                 getattr(conn, "content_class", "default"), conn.priority)
             conn.accepted.succeed(self.sim.now)
@@ -118,6 +181,72 @@ class EventDrivenServer(BaseSimServer):
             self.sim.process(self._connection_pump(conn))
             if self.accept_latency:
                 yield self.sim.timeout(self.accept_latency)
+
+    # -- degradation plane (O17) -----------------------------------------
+    def _admit(self, conn) -> bool:
+        """The O17 accept gate: explicit prioritized decisions instead
+        of the silent postpone latch."""
+        decision = self.shedding.admit_accept()
+        if not decision.admitted:
+            self.shedding.record_rejection(
+                decision, f"client={conn.client_id}")
+            self.sim.process(self._reject_connection(conn, decision))
+            return False
+        limited = self.shedding.admit_client(f"client-{conn.client_id}")
+        if not limited.admitted:
+            self.sim.process(self._reject_connection(conn, limited))
+            return False
+        return True
+
+    def _reject_connection(self, conn, decision: ShedDecision):
+        """Cheap write-path rejection: the client gets the canned 503 +
+        Retry-After and a close — no service slot, no disk, no queue."""
+        self.rejected_connections += 1
+        conn.rejected = True
+        conn.retry_after = decision.retry_after
+        yield from self.cpu.consume(self.reject_cpu)
+        yield from self.link.transfer(self.reject_bytes)
+        conn.accepted.succeed(self.sim.now)
+        conn.close()
+
+    def _on_sojourn_drop(self, item, sojourn: float) -> None:
+        """A queued request blew its sojourn deadline (CoDel): 503 the
+        victim instead of serving it uselessly late."""
+        _kind, request = item
+        self.shedding.record_rejection(
+            ShedDecision("reject", "queue-deadline",
+                         self.shedding.retry_after),
+            f"sojourn={sojourn:.3f}s")
+        self.sim.process(self._reject_request(request))
+
+    def _reject_request(self, request: SimRequest):
+        self.rejected_requests += 1
+        request.rejected = True
+        request.retry_after = self.shedding.retry_after
+        yield from self.cpu.consume(self.reject_cpu)
+        yield from self.link.transfer(self.reject_bytes)
+        request.done.succeed(self.sim.now)
+
+    @property
+    def shed_total(self) -> int:
+        """Every explicit shed decision (accept-edge and sojourn)."""
+        return self.shedding.shed_total if self.shedding is not None else 0
+
+    def _latency_p99(self) -> Optional[float]:
+        """p99 of the responses completed since the last adaptive step
+        (the sim-time stand-in for the O11 latency probe)."""
+        window, self._latency_window = self._latency_window, []
+        if not window:
+            return None
+        window.sort()
+        return window[min(len(window) - 1, int(0.99 * len(window)))]
+
+    def _adaptive_loop(self):
+        """Step the real AIMD controller on the simulated clock (its
+        live mode spawns a thread; the sim steps it by hand)."""
+        while True:
+            yield self.sim.timeout(self.adaptive.interval)
+            self.adaptive.step()
 
     def _connection_pump(self, conn):
         """Per-connection arrival path: request bytes became readable;
@@ -187,3 +316,8 @@ class EventDrivenServer(BaseSimServer):
         yield from self.cpu.consume(self.completion_cpu + self._scan_cpu())
         self.sim.process(self._respond(request))
         yield self.sim.timeout(0)
+
+    def _respond(self, request: SimRequest):
+        yield from super()._respond(request)
+        if self.adaptive is not None:
+            self._latency_window.append(self.sim.now - request.created_at)

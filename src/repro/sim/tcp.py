@@ -45,6 +45,11 @@ class SimConnection:
     accepted: SimEvent = None
     #: client -> server request rendezvous
     requests: Store = None
+    #: the server shed this connection at accept (O17): ``accepted``
+    #: still fires — the client got a cheap canned 503 — but no request
+    #: will ever be served; honour ``retry_after`` before reconnecting
+    rejected: bool = False
+    retry_after: float = 0.0
     closed: bool = False
     opened_at: float = 0.0
     last_activity: float = 0.0

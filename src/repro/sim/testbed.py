@@ -90,6 +90,20 @@ class TestbedConfig:
     overload_high: int = 20
     overload_low: int = 5
 
+    # degradation plane (template option O17; requires ``overload``)
+    degradation: bool = False
+    shed_rate: float = 5.0          # per-client token-bucket conn/s
+    shed_burst: float = 10.0
+    shed_retry_after: float = 1.0
+    sojourn_deadline: Optional[float] = 0.4
+    sojourn_interval: float = 0.1
+    adaptive: bool = False          # AIMD watermark retuning on the sim clock
+    adaptive_target_p99: float = 0.25
+    adaptive_interval: float = 1.0
+    #: client-experienced deadline a response must meet to count toward
+    #: :attr:`TestbedResult.goodput`
+    goodput_deadline: float = 0.5
+
     # seda model
     seda_threads_per_stage: int = 4
 
@@ -106,6 +120,8 @@ class TestbedConfig:
 class TestbedResult:
     """What one run yields (inputs for the figure benches)."""
 
+    __test__ = False  # starts with "Test" but is not a pytest class
+
     config: TestbedConfig
     throughput: float
     fairness: float
@@ -114,6 +130,14 @@ class TestbedResult:
     response_mean: float
     combined_mean: float
     response_p90: float
+    response_p99: float
+    #: responses/s whose client-experienced time met ``goodput_deadline``
+    goodput: float
+    #: explicit shed decisions (0 unless the server runs the O17 plane)
+    shed_total: int
+    rejected_connections: int
+    rejected_requests: int
+    adaptive_adjustments: int
     cache_hit_rate: Optional[float]
     os_buffer_hit_rate: float
     syn_drops: int
@@ -127,6 +151,10 @@ def build_server(cfg: TestbedConfig, sim: Simulator, downlink: Link,
     params = ServerParams(cpus=cfg.cpus, backlog=cfg.backlog,
                           cpu_per_request=cfg.cpu_per_request,
                           decode_extra_cpu=cfg.decode_extra_cpu)
+    if cfg.degradation and cfg.server != "cops":
+        raise ValueError(
+            "degradation (O17) is modelled for the event-driven server "
+            f"only, not {cfg.server!r}")
     if cfg.server == "apache":
         return PreforkServer(sim, downlink, disk, params,
                              workers=cfg.apache_workers,
@@ -146,6 +174,15 @@ def build_server(cfg: TestbedConfig, sim: Simulator, downlink: Link,
             overload=cfg.overload,
             overload_high=cfg.overload_high,
             overload_low=cfg.overload_low,
+            degradation=cfg.degradation,
+            shed_rate=cfg.shed_rate,
+            shed_burst=cfg.shed_burst,
+            shed_retry_after=cfg.shed_retry_after,
+            sojourn_deadline=cfg.sojourn_deadline,
+            sojourn_interval=cfg.sojourn_interval,
+            adaptive=cfg.adaptive,
+            adaptive_target_p99=cfg.adaptive_target_p99,
+            adaptive_interval=cfg.adaptive_interval,
         )
     if cfg.server == "sped":
         return SpedServer(sim, downlink, disk, params,
@@ -246,6 +283,14 @@ def run_testbed(cfg: TestbedConfig) -> TestbedResult:
         response_mean=response.mean if response else 0.0,
         combined_mean=combined.mean if combined else 0.0,
         response_p90=response.p90 if response else 0.0,
+        response_p99=response.p99 if response else 0.0,
+        goodput=metrics.goodput(duration, cfg.goodput_deadline),
+        shed_total=getattr(server, "shed_total", 0),
+        rejected_connections=getattr(server, "rejected_connections", 0),
+        rejected_requests=getattr(server, "rejected_requests", 0),
+        adaptive_adjustments=(
+            server.adaptive.adjustments
+            if getattr(server, "adaptive", None) is not None else 0),
         cache_hit_rate=(cache_stats.stats.hit_rate
                         if cache_stats is not None else None),
         os_buffer_hit_rate=os_buffer.stats.hit_rate,

@@ -16,12 +16,14 @@ from repro.co2p3s.nserver import (
     ALL_FEATURES_ON,
     COPS_FTP_OPTIONS,
     COPS_HTTP_OPTIONS,
+    COPS_HTTP_DEGRADATION_OPTIONS,
     COPS_HTTP_OBSERVABILITY_OPTIONS,
     COPS_HTTP_OVERLOAD_OPTIONS,
     COPS_HTTP_RESILIENCE_OPTIONS,
     COPS_HTTP_SCHEDULING_OPTIONS,
     COPS_HTTP_SHARDED_OPTIONS,
     COPS_HTTP_ZEROCOPY_OPTIONS,
+    DEGRADATION_TOGGLE_BASE,
     EXPECTED_TABLE2,
     NSERVER,
     PAPER_TABLE2,
@@ -35,19 +37,21 @@ from repro.co2p3s.nserver import (
 # -- Table 1: the option model -------------------------------------------------
 
 
-def test_fifteen_options():
+def test_sixteen_options():
     # The paper's twelve plus the O13 fault-tolerance, O14
-    # reactor-shards and O15 write-path extensions.
+    # reactor-shards, O15 write-path and O17 degradation extensions
+    # (there is no O16).
     specs = NSERVER.option_specs()
-    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 16)]
+    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 16)] + ["O17"]
 
 
 def test_paper_configurations_are_legal():
     for config in (COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS,
                    COPS_HTTP_SCHEDULING_OPTIONS, COPS_HTTP_OVERLOAD_OPTIONS,
                    COPS_HTTP_RESILIENCE_OPTIONS, COPS_HTTP_SHARDED_OPTIONS,
-                   COPS_HTTP_ZEROCOPY_OPTIONS, ALL_FEATURES_ON,
-                   POOL_TOGGLE_BASE):
+                   COPS_HTTP_ZEROCOPY_OPTIONS, COPS_HTTP_DEGRADATION_OPTIONS,
+                   ALL_FEATURES_ON, POOL_TOGGLE_BASE,
+                   DEGRADATION_TOGGLE_BASE):
         opts = NSERVER.configure(config)
         NSERVER.validate(opts)
 
@@ -70,7 +74,7 @@ def test_cops_http_column_matches_table1():
 
 def test_option_table_rows_shape():
     rows = option_table_rows(COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS)
-    assert len(rows) == 15
+    assert len(rows) == 16
     assert all(len(r) == 4 for r in rows)
     o6 = next(r for r in rows if r[0].startswith("O6"))
     assert o6[2] == "No" and o6[3] == "Yes: LRU"
@@ -83,6 +87,8 @@ def test_constraints():
         NSERVER.validate(NSERVER.configure({"O9": True, "O2": False}))
     with pytest.raises(OptionError):
         NSERVER.validate(NSERVER.configure({"O5": "Dynamic", "O2": False}))
+    with pytest.raises(OptionError):
+        NSERVER.validate(NSERVER.configure({"O17": True, "O9": False}))
 
 
 def test_illegal_option_value():
@@ -106,12 +112,12 @@ def test_all_files_parse_for_paper_configs():
             ast.parse(text)
 
 
-def test_full_config_generates_all_31_classes():
+def test_full_config_generates_all_32_classes():
     report = render(ALL_FEATURES_ON)
     assert set(report.class_names()) == set(TABLE2_CLASS_ORDER)
     # paper's 27 + Observability (O11) + Resilience (O13) + Sharding (O14)
-    # + Buffers (O15)
-    assert len(TABLE2_CLASS_ORDER) == 31
+    # + Buffers (O15) + Degradation (O17)
+    assert len(TABLE2_CLASS_ORDER) == 32
 
 
 def test_optional_classes_absent_when_options_off():
@@ -163,7 +169,17 @@ def test_no_dynamic_feature_checks_in_generated_code():
         assert "drain_timeout" not in text, filename
         # O14=1: zero sharding code anywhere.
         assert "shard" not in text.lower(), filename
+        # O17=No: zero degradation-plane code anywhere.
+        assert "degradation" not in text.lower(), filename
+        assert "shedding" not in text, filename
+        assert "shed_" not in text, filename
+        assert "brownout" not in text, filename
+        assert "breaker" not in text, filename
+        assert "sojourn" not in text, filename
+        assert "retry_after" not in text, filename
+        assert "adaptive" not in text.lower(), filename
     assert "sharding.py" not in report.files
+    assert "degradation.py" not in report.files
 
 
 def test_observability_code_present_when_o11_on():
@@ -272,11 +288,19 @@ def test_sharding_composes_without_obs_and_resilience():
 def test_shard_placement_weaves_follow_o9_o12():
     report = render(dict(ALL_FEATURES_ON, O14=4))
     sh = report.files["sharding.py"]
-    # O9=Yes: gate, reroute and per-shard overload accounting.
-    assert "s.overload.accepting() for s in self.shards" in sh
+    # O9+O17: only shards still accepting are placement candidates, and
+    # saturation answers clients instead of silently postponing.
+    assert "if s.overload.accepting()" in sh
     assert "shard.overload.connection_opened()" in sh
+    assert "shedding.record_rejection" in sh
+    assert "shedding.admit_client" in sh
     # O12=Yes: accept and drain logging through the primary's log.
     assert "self.primary.log.info" in sh
+    # O17=No keeps the base template's silent-postpone accept gate.
+    plain = render(dict(ALL_FEATURES_ON, O14=4, O17=False)).files["sharding.py"]
+    assert ("if not any(s.overload.accepting() for s in self.shards): "
+            "return" in plain)
+    assert "shedding" not in plain
 
 
 def test_zerocopy_code_present_when_o15_on():
@@ -305,6 +329,55 @@ def test_zerocopy_probe_present_only_with_observability():
     obs_text = with_obs.files["observability.py"]
     assert "server_buffer_pool_hit_rate" in obs_text
     assert "reactor.buffers.pool.stats.hit_rate" in obs_text
+
+
+def test_degradation_code_present_when_o17_on():
+    report = render(COPS_HTTP_DEGRADATION_OPTIONS)
+    assert "degradation.py" in report.files
+    deg = report.files["degradation.py"]
+    assert "class Degradation" in deg
+    assert "rt.SheddingPolicy" in deg
+    assert "rt.ClientRateLimiter" in deg
+    assert "rt.BrownoutController" in deg
+    assert "rt.CircuitBreaker" in deg
+    assert "rt.RetryBudget" in deg
+    assert "rt.AdaptiveController" in deg
+    assert "rt.SojournQueue" in deg
+    # O11=Yes: the adaptive controller reads the request p99 from the
+    # shared registry; O12=No: the retune log argument is omitted.
+    assert "server_request_seconds" in deg
+    assert "log=reactor.log" not in deg
+    reactor_text = report.files["reactor.py"]
+    assert "self.degradation = Degradation(self)" in reactor_text
+    assert "Degradation.wrap_queue(configuration," in reactor_text
+    assert "breaker=self.degradation.breaker" in reactor_text
+    assert "retry_budget=self.degradation.retry_budget" in reactor_text
+    assert "self.degradation.start()" in reactor_text
+    assert "self.degradation.stop()" in reactor_text
+    comm = report.files["communication.py"]
+    # The O17 accept loop replaces the O9 silent-postpone loop: explicit
+    # decisions, cheap rejection, per-client rate limit.
+    assert "shedding.admit_accept()" in comm
+    assert "shedding.admit_client(" in comm
+    assert "def _reject(self, handle)" in comm
+    assert "self.reactor.overload.accepting()" not in comm
+    assert "shed_rate = 100.0" in comm
+    assert "sojourn_deadline = None" in comm
+    assert "adaptive_control = False" in comm
+    obs_text = report.files["observability.py"]
+    assert "server_shed_total" in obs_text
+    assert "server_brownout_level" in obs_text
+    assert "server_breaker_open" in obs_text
+
+
+def test_overload_build_without_o17_keeps_silent_postpone():
+    """O9 alone is the paper's Fig 6 shape: the guarded accept loop
+    postpones silently and no shedding vocabulary is generated."""
+    report = render(COPS_HTTP_OVERLOAD_OPTIONS)
+    comm = report.files["communication.py"]
+    assert "if not self.reactor.overload.accepting():" in comm
+    assert "shedding" not in comm
+    assert "degradation.py" not in report.files
 
 
 ALL_FEATURES_ON_BUFFERED = dict(ALL_FEATURES_ON, O15="buffered")
@@ -346,6 +419,14 @@ def test_table2_extension_rows_merge():
     assert EXPECTED_TABLE2["ServerComponent"]["O15"] == "+"
     assert EXPECTED_TABLE2["ServerConfiguration"]["O15"] == "+"
     assert EXPECTED_TABLE2["Observability"]["O15"] == "+"
+    assert EXPECTED_TABLE2["Degradation"]["O17"] == "O"
+    assert EXPECTED_TABLE2["Degradation"]["O11"] == "+"
+    assert EXPECTED_TABLE2["Degradation"]["O12"] == "+"
+    assert EXPECTED_TABLE2["Reactor"]["O17"] == "+"
+    assert EXPECTED_TABLE2["AcceptorEventHandler"]["O17"] == "+"
+    assert EXPECTED_TABLE2["ServerConfiguration"]["O17"] == "+"
+    assert EXPECTED_TABLE2["Observability"]["O17"] == "+"
+    assert EXPECTED_TABLE2["Sharding"]["O17"] == "+"
     # Extensions only add cells, never overwrite a paper cell.
     for name, row in TABLE2_EXTENSIONS.items():
         for key in row:
@@ -360,6 +441,8 @@ def test_feature_code_present_when_enabled():
     assert "overload" in blob
     assert "reap_idle" in blob
     assert "QuotaPriorityQueue" in blob
+    assert "rt.SheddingPolicy" in blob
+    assert "rt.CircuitBreaker" in blob
 
 
 def test_dispatcher_threads_expression():
@@ -400,12 +483,15 @@ def test_generated_size_same_order_as_paper():
 # -- Table 2: crosscut reproduction ------------------------------------------------
 
 
+OPTION_KEYS = [s.key for s in NSERVER.option_specs()]
+
+
 def _matrix_from(table):
     m = CrosscutMatrix(class_names=TABLE2_CLASS_ORDER,
-                       option_keys=[f"O{i}" for i in range(1, 16)])
+                       option_keys=list(OPTION_KEYS))
     for name in TABLE2_CLASS_ORDER:
-        m.cells[name] = {f"O{i}": table.get(name, {}).get(f"O{i}", "")
-                         for i in range(1, 16)}
+        m.cells[name] = {key: table.get(name, {}).get(key, "")
+                         for key in OPTION_KEYS}
     return m
 
 
@@ -419,7 +505,8 @@ def expected_matrix():
 
 def test_empirical_crosscut_reproduces_paper_table2():
     emp = empirical_matrix(NSERVER, ALL_FEATURES_ON,
-                           extra_bases=(POOL_TOGGLE_BASE,))
+                           extra_bases=(POOL_TOGGLE_BASE,
+                                        DEGRADATION_TOGGLE_BASE))
     diffs = emp.differences(expected_matrix())
     assert diffs == []
     # The only cells beyond the paper's table are the declared
@@ -434,7 +521,8 @@ def test_empirical_crosscut_reproduces_paper_table2():
 
 def test_declared_metadata_matches_empirical():
     emp = empirical_matrix(NSERVER, ALL_FEATURES_ON,
-                           extra_bases=(POOL_TOGGLE_BASE,))
+                           extra_bases=(POOL_TOGGLE_BASE,
+                                        DEGRADATION_TOGGLE_BASE))
     dec = declared_matrix(NSERVER, ALL_FEATURES_ON)
     assert emp.differences(dec) == []
 

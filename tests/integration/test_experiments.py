@@ -29,14 +29,16 @@ from repro.experiments import (
 def test_table1_rows_and_formatting():
     rows = run_table1()
     # The paper's 12 options plus the O13 fault-tolerance, O14
-    # reactor-shards and O15 write-path extensions.
-    assert len(rows) == 15
+    # reactor-shards, O15 write-path and O17 degradation extensions.
+    assert len(rows) == 16
     assert rows[12][0] == "O13: Fault tolerance"
     assert rows[12][2:] == ["No", "No"]     # both paper apps: off
     assert rows[13][0] == "O14: Reactor shards"
     assert rows[13][2:] == ["1", "1"]       # both paper apps: one reactor
     assert rows[14][0] == "O15: Write path"
     assert rows[14][2:] == ["buffered", "buffered"]  # the paper's path
+    assert rows[15][0] == "O17: Degradation policy"
+    assert rows[15][2:] == ["No", "No"]     # both paper apps: off
     text = format_table1(rows)
     assert "COPS-FTP" in text and "Yes: LRU" in text
 

@@ -48,4 +48,5 @@ def test_quick_fig3_zerocopy(capsys):
 def test_all_is_every_experiment():
     assert set(EXPERIMENTS) == {"table1", "table2", "table3", "table4",
                                 "fig3", "fig4", "fig5", "fig6",
-                                "fig3-shards", "fig3-zerocopy"}
+                                "fig3-shards", "fig3-zerocopy",
+                                "fig6-cliff"}

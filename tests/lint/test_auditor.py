@@ -29,8 +29,10 @@ CORNERS = (
     "cops-http-resilient",
     "cops-http-sharded",
     "cops-http-zerocopy",
+    "cops-http-degradation",
     "all-features-on",
     "pool-toggle-base",
+    "degradation-toggle-base",
 )
 
 
@@ -41,14 +43,14 @@ def test_option_matrix_corners_audit_clean():
 
 
 def test_suite_exercises_every_option_value():
-    # all 15 options, each through its full legal value set
+    # all 16 options, each through its full legal value set
     base = NSERVER.configure(ALL_FEATURES_ON)
     seen = {spec.key: set() for spec in base.specs}
     for _label, options in suite_configs():
         resolved = NSERVER.configure(options)
         for spec in base.specs:
             seen[spec.key].add(resolved[spec.key])
-    assert len(seen) == 15
+    assert len(seen) == 16
     for spec in base.specs:
         assert seen[spec.key] == set(spec.values), spec.key
 
@@ -125,6 +127,41 @@ def test_o11_purity_ignores_in_flight_prose():
     report = _StubReport({"mod.py": (
         '"""Drain waits for in-flight events to finish."""\n')})
     assert not any("o11-purity" in f.ident
+                   for f in audit_report(report, "stub", options=options))
+
+
+def test_o17_no_build_with_degradation_residue_is_flagged():
+    options = {"O11": True, "O17": False}
+    report = _StubReport({"mod.py": "x = self.shedding.shed_total\n"})
+    idents = [f.ident for f in audit_report(report, "stub",
+                                            options=options)]
+    assert "audit:o17-purity:mod.py" in idents
+    # The generation-options record is exempt, as with O11.
+    report = _StubReport({"__init__.py": "GENERATED_OPTIONS = "
+                                         "{'O17': False}\n"
+                                         "x = rejection_response\n"})
+    assert not any("o17-purity" in f.ident
+                   for f in audit_report(report, "stub", options=options))
+
+
+def test_o17_yes_build_is_not_purity_scanned():
+    report = _StubReport({"mod.py": "x = self.shedding.brownout\n"})
+    assert not any(
+        "o17-purity" in f.ident
+        for f in audit_report(report, "stub",
+                              options={"O11": True, "O17": True}))
+    # Stub options without an O17 key (older callers): no purity scan.
+    assert not any(
+        "o17-purity" in f.ident
+        for f in audit_report(report, "stub", options={"O11": True}))
+
+
+def test_o17_purity_ignores_resilience_prose():
+    # "sheds the poisoned event" in quarantine prose is not residue.
+    options = {"O11": True, "O17": False}
+    report = _StubReport({"mod.py": (
+        '"""Quarantine sheds the poisoned event after retries."""\n')})
+    assert not any("o17-purity" in f.ident
                    for f in audit_report(report, "stub", options=options))
 
 
