@@ -1,0 +1,235 @@
+"""Seeded, fault-injected client sessions for the conformance sweep.
+
+A :class:`Session` is one connection's worth of client behaviour: an
+ordered list of :class:`Step` actions (send bytes — whole, in odd
+chunks, or trickled — or slam the connection shut with an RST).  The
+generator is fully deterministic from its seed: path popularity comes
+from the Zipf sampler the workload plane already uses, and client-side
+perturbations (trickle, odd chunk boundaries, abrupt resets) are drawn
+from a :class:`repro.faults.FaultSchedule`, so a failing session
+replays bit-for-bit from ``(seed, index)``.
+
+Two invariants keep replay deterministic against a real server:
+
+* every session ends with a close-marked request (or an abrupt reset),
+  so the checker reads to EOF instead of guessing quiescence;
+* a bare-LF-framed request only ever appears as the *final* request —
+  mixing bare-LF frames into a pipeline would make the implementation's
+  CRLF-first framing depend on recv boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.faults import FaultSchedule, FaultSpec
+from repro.workload.zipf import ZipfSampler
+
+__all__ = ["Session", "Step", "directed_sessions", "generate_sessions",
+           "request_bytes"]
+
+
+@dataclass
+class Step:
+    """One client action on the wire."""
+
+    kind: str                     # "send" | "reset"
+    data: bytes = b""
+    #: send one byte at a time with a small delay (slow-loris shape)
+    trickle: bool = False
+
+    def describe(self) -> str:
+        if self.kind == "reset":
+            return "reset"
+        mode = "trickle" if self.trickle else "send"
+        return f"{mode}[{len(self.data)}B] {self.data[:48]!r}"
+
+
+@dataclass
+class Session:
+    """One connection's scripted client behaviour."""
+
+    name: str
+    steps: List[Step] = field(default_factory=list)
+    #: judge only the parseable response prefix: set when the client's
+    #: own behaviour (e.g. sending past a mid-upload rejection) makes a
+    #: kernel RST race against buffered response bytes possible
+    lenient: bool = False
+
+    @property
+    def payload(self) -> bytes:
+        """Every byte the client offers, in order — the model's input."""
+        return b"".join(s.data for s in self.steps if s.kind == "send")
+
+    @property
+    def resets(self) -> bool:
+        return any(s.kind == "reset" for s in self.steps)
+
+    def describe(self) -> str:
+        lines = [f"session {self.name}:"]
+        lines += [f"  {i}: {step.describe()}"
+                  for i, step in enumerate(self.steps)]
+        return "\n".join(lines)
+
+
+def request_bytes(method: str = "GET", target: str = "/",
+                  version: str = "HTTP/1.1",
+                  headers: Optional[Sequence[tuple]] = None,
+                  body: bytes = b"", close: bool = False,
+                  host: Optional[str] = "conform",
+                  bare_lf: bool = False) -> bytes:
+    """Serialise one request; ``host=None`` omits the Host header."""
+    eol = b"\n" if bare_lf else b"\r\n"
+    lines = [f"{method} {target} {version}".encode("latin-1")]
+    if host is not None:
+        lines.append(b"Host: " + host.encode("latin-1"))
+    for name, value in headers or ():
+        lines.append(f"{name}: {value}".encode("latin-1"))
+    if body:
+        lines.append(b"Content-Length: " + str(len(body)).encode())
+    if close:
+        lines.append(b"Connection: close")
+    return eol.join(lines) + eol + eol + body
+
+
+def _get(target: str, close: bool = False, head: bool = False,
+         version: str = "HTTP/1.1") -> bytes:
+    keep10 = [] if close or version == "HTTP/1.1" else \
+        [("Connection", "keep-alive")]
+    return request_bytes("HEAD" if head else "GET", target,
+                         version=version, headers=keep10, close=close)
+
+
+#: request recipes that exercise the model's error surface; each is a
+#: complete close-marked exchange, safe as the final request of any
+#: session.  (name, bytes) — the name feeds the session ident.
+def _malformed_menu() -> List[tuple]:
+    return [
+        ("garbage", b"<<<not-http>>>\r\n\r\n"),
+        ("badversion", request_bytes("GET", "/", version="HTTP/2.0")),
+        ("nohost", request_bytes("GET", "/index.html", host=None)),
+        ("colonless",
+         b"GET / HTTP/1.1\r\nHost: c\r\nBroken header line\r\n\r\n"),
+        ("post", request_bytes("POST", "/index.html", body=b"a=1",
+                               close=True)),
+        ("brew", request_bytes("BREW", "/coffee", close=True)),
+        ("badtarget", request_bytes("GET", "no-slash", close=True)),
+        ("badcl",
+         b"GET /index.html HTTP/1.1\r\nHost: c\r\n"
+         b"Content-Length: 12abc\r\n\r\n"),
+        ("pluscl",
+         b"GET /index.html HTTP/1.1\r\nHost: c\r\n"
+         b"Content-Length: +5\r\n\r\nhello"),
+        ("conflictcl",
+         b"GET /index.html HTTP/1.1\r\nHost: c\r\nContent-Length: 5\r\n"
+         b"Content-Length: 6\r\n\r\nhello!"),
+        ("hugecl",
+         b"GET /index.html HTTP/1.1\r\nHost: c\r\n"
+         b"Content-Length: 99999999999\r\n\r\n"),
+        ("traversal", _get("/../../etc/passwd", close=True)),
+        ("enctraversal", _get("/%2e%2e/%2e%2e/etc/passwd", close=True)),
+        ("headmissing", _get("/no-such-file.html", close=True, head=True)),
+        ("barelf",
+         request_bytes("GET", "/", version="HTTP/1.0", bare_lf=True)),
+        ("bighead", b"A" * (64 * 1024 + 512)),
+    ]
+
+
+def directed_sessions(paths: Sequence[str]) -> List[Session]:
+    """The fixed session set every corner must pass: one session per
+    error-surface recipe plus the canonical happy paths.  Coverage of
+    the model's whole status surface never depends on the random
+    draw."""
+    existing = paths[0] if paths else "/index.html"
+    sessions = [
+        Session(name="d-ok", steps=[Step("send", _get(existing, close=True))]),
+        Session(name="d-head-ok",
+                steps=[Step("send", _get(existing, close=True, head=True))]),
+        Session(name="d-root",
+                steps=[Step("send", _get("/", close=True))]),
+        Session(name="d-status",
+                steps=[Step("send", _get("/server-status", close=True))]),
+        Session(name="d-missing",
+                steps=[Step("send", _get("/no-such-file.html", close=True))]),
+        Session(name="d-pipeline",
+                steps=[Step("send", _get(existing) + _get("/")
+                       + _get(existing, close=True, head=True))]),
+    ]
+    sessions += [Session(name=f"d-{name}", steps=[Step("send", data)],
+                         lenient=(name == "bighead"))
+                 for name, data in _malformed_menu()]
+    return sessions
+
+
+def generate_sessions(seed: int, paths: Sequence[str], count: int,
+                      malformed: bool = True,
+                      zipf_alpha: float = 1.0) -> List[Session]:
+    """``count`` deterministic random sessions over ``paths``.
+
+    Roughly a third of the sessions end in a malformed exchange (when
+    ``malformed``), a few abandon the connection with an RST, and the
+    rest are well-formed GET/HEAD traffic in pipelined, chunked and
+    trickled shapes.  Identical ``(seed, paths, count)`` always yields
+    identical sessions.
+    """
+    import random
+
+    rng = random.Random(seed)
+    sampler = ZipfSampler(len(paths), alpha=zipf_alpha, seed=seed)
+    # Client-side perturbations ride the same seeded fault machinery
+    # the server-side plane uses: one decision stream per session.
+    schedule = FaultSchedule(
+        FaultSpec(send_reset=0.08, partial_write=0.25,
+                  partial_write_bytes=7),
+        seed=seed)
+    menu = _malformed_menu()
+    sessions: List[Session] = []
+    for index in range(count):
+        stream = schedule.next_stream("conform")
+        pick = lambda: paths[sampler.sample()]  # noqa: E731
+        n_requests = rng.randint(1, 4)
+        requests = []
+        for i in range(n_requests - 1):
+            requests.append(_get(
+                pick(), head=rng.random() < 0.25,
+                version="HTTP/1.0" if rng.random() < 0.2 else "HTTP/1.1"))
+        tags = ["ok"]
+        if malformed and index % 3 == 1:
+            name, final = menu[index % len(menu)]
+            tags = [name]
+            requests.append(final)
+        else:
+            requests.append(_get(pick(), close=True,
+                                 head=rng.random() < 0.2))
+        payload = b"".join(requests)
+
+        decision = schedule.decide("send", stream)
+        steps: List[Step]
+        if decision == "reset":
+            # keep a prefix, then slam the door: the server must
+            # survive and the next session must still be served
+            cut = rng.randint(1, max(1, len(payload) - 1))
+            steps = [Step("send", payload[:cut]), Step("reset")]
+            tags.append("reset")
+        elif decision == "partial":
+            # odd chunk boundaries across the whole payload
+            steps = []
+            rest = payload
+            while rest:
+                cut = min(len(rest), rng.randint(1, 23))
+                steps.append(Step("send", rest[:cut]))
+                rest = rest[cut:]
+            tags.append("chunked")
+        elif rng.random() < 0.15 and len(payload) < 512:
+            steps = [Step("send", payload, trickle=True)]
+            tags.append("trickle")
+        elif len(requests) > 1 and rng.random() < 0.5:
+            steps = [Step("send", r) for r in requests]
+            tags.append("seq")
+        else:
+            steps = [Step("send", payload)]
+            tags.append("pipelined")
+        sessions.append(Session(
+            name=f"s{index:03d}-{'-'.join(tags)}", steps=steps))
+    return sessions

@@ -53,17 +53,22 @@ def split_request(data: bytes) -> Optional[Tuple[bytes, bytes]]:
 
 
 def _content_length(head: bytes) -> int:
+    """Strict per RFC 7230 §3.3.2: the value is 1*DIGIT only, and
+    duplicate Content-Length headers must agree.  Tolerating ``+5``,
+    ``12abc`` or conflicting duplicates (first-wins) is a request
+    smuggling vector whenever a proxy in front frames differently."""
+    length = None
     for line in head.split(b"\n")[1:]:
         name, _, value = line.partition(b":")
         if name.strip().lower() == b"content-length":
-            try:
-                n = int(value.strip())
-            except ValueError:
-                raise BadRequest("malformed Content-Length") from None
-            if n < 0:
-                raise BadRequest("negative Content-Length")
-            return n
-    return 0
+            value = value.strip()
+            if not value.isdigit():
+                raise BadRequest("malformed Content-Length")
+            n = int(value)
+            if length is not None and n != length:
+                raise BadRequest("conflicting Content-Length")
+            length = n
+    return 0 if length is None else length
 
 
 def parse_request(raw: bytes) -> HttpRequest:
@@ -76,6 +81,10 @@ def parse_request(raw: bytes) -> HttpRequest:
     """
     sep = b"\r\n\r\n" if b"\r\n\r\n" in raw else b"\n\n"
     head, _, body = raw.partition(sep)
+    # Framing normally rejects malformed Content-Length before this
+    # point; re-checking here keeps the 400 even when a framing layer
+    # swallowed the error and passed the raw buffer through.
+    _content_length(head)
     lines = head.replace(b"\r\n", b"\n").split(b"\n")
     if not lines or not lines[0].strip():
         raise BadRequest("empty request line")

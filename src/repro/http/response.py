@@ -80,8 +80,11 @@ class HttpResponse:
 
 
 def error_response(status: int, version: str = "HTTP/1.1",
-                   close: bool = False) -> HttpResponse:
-    """A minimal HTML error page for ``status``."""
+                   close: bool = False,
+                   head_only: bool = False) -> HttpResponse:
+    """A minimal HTML error page for ``status``.  ``head_only`` keeps
+    the page's Content-Length but suppresses the body on the wire — an
+    error answering a HEAD request must not carry one."""
     reason = reason_phrase(status)
     body = (f"<html><head><title>{status} {reason}</title></head>"
             f"<body><h1>{status} {reason}</h1></body></html>").encode()
@@ -89,4 +92,4 @@ def error_response(status: int, version: str = "HTTP/1.1",
     if close:
         headers.set("Connection", "close")
     return HttpResponse(status=status, headers=headers, body=body,
-                        version=version)
+                        version=version, head_only=head_only)

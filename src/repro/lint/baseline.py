@@ -116,13 +116,16 @@ def load_baseline(path: str) -> Baseline:
     return Baseline(suppressions=suppressions, path=path)
 
 
-def find_baseline(start: Optional[str] = None) -> Optional[Baseline]:
-    """Locate and load ``lint-baseline.toml`` by walking up from
-    ``start`` (default: this package's repository checkout); ``None``
-    when no file is found — all findings then count as live."""
+def find_baseline(start: Optional[str] = None,
+                  name: str = BASELINE_NAME) -> Optional[Baseline]:
+    """Locate and load a baseline file (default ``lint-baseline.toml``)
+    by walking up from ``start`` (default: this package's repository
+    checkout); ``None`` when no file is found — all findings then count
+    as live.  Other planes reuse the walk with their own ``name``
+    (the conformance checker passes ``conform-baseline.toml``)."""
     here = os.path.abspath(start or os.path.dirname(__file__))
     while True:
-        candidate = os.path.join(here, BASELINE_NAME)
+        candidate = os.path.join(here, name)
         if os.path.isfile(candidate):
             return load_baseline(candidate)
         parent = os.path.dirname(here)

@@ -42,14 +42,24 @@ CLOSE = object()
 
 class _Ticket:
     """Order token for one in-flight request; carries its span so the
-    asynchronous completion path can close the right one, and its start
-    time so a deadline monitor can spot overdue requests."""
+    asynchronous completion path can close the right one, its start
+    time so a deadline monitor can spot overdue requests, and — once
+    the Handle step resolves — the reply itself, parked until every
+    older request on the connection has flushed.  That parking is what
+    keeps pipelined replies in request order even when asynchronous
+    services (disk reads on a thread pool, cache hits completing
+    inline) finish out of order."""
 
-    __slots__ = ("span", "started")
+    __slots__ = ("span", "started", "handling", "done", "result")
 
     def __init__(self, span, started: float = 0.0):
         self.span = span
         self.started = started
+        #: the pipeline thread is still inside the handle hook
+        self.handling = True
+        #: the reply is resolved (it may still wait on older tickets)
+        self.done = False
+        self.result = None
 
 
 class ServerHooks:
@@ -148,8 +158,8 @@ class Communicator:
         # race with the pipeline thread still inside the handle hook.
         self._ticket_lock = threading.Lock()
         self._awaiting: deque = deque()   # tickets in request order
-        self._pending: set = set()        # handle() returned PENDING
-        self._early: dict = {}            # completed before PENDING was seen
+        self._draining = False            # a thread is flushing replies
+        self._handling_threads: dict = {}  # thread ident -> its ticket
         self.priority = 0
         self.closed = False
         self.close_after_flush = False
@@ -248,8 +258,10 @@ class Communicator:
         span = self.spans.start("request", detail=self.handle.name,
                                 trace_id=trace_id)
         ticket = _Ticket(span, started=self.clock())
+        me = threading.get_ident()
         with self._ticket_lock:
             self._awaiting.append(ticket)
+            self._handling_threads[me] = ticket
         try:
             self.flight.record("stage-enter", "decode", trace_id)
             with span.stage("decode"):
@@ -266,8 +278,7 @@ class Communicator:
             span.finish()
             with self._ticket_lock:
                 self._awaiting.clear()
-                self._pending.clear()
-                self._early.clear()
+                self._handling_threads.pop(me, None)
             if not isinstance(exc, Exception):
                 # Worker-death path: the supervisor owns recovery, so the
                 # exception keeps propagating to take the worker down.
@@ -276,42 +287,84 @@ class Communicator:
             self.log.error(f"pipeline error on {self.handle.name}: {exc!r}")
             self.close()
             return
-        if result is PENDING:
-            with self._ticket_lock:
-                if ticket in self._early:
-                    # The completion raced ahead of the PENDING return:
-                    # deliver it now on this thread.
-                    result = self._early.pop(ticket)
-                else:
-                    self._pending.add(ticket)
-                    return
-        self._finish(ticket, result)
-
-    def complete_request(self, result: Any) -> None:
-        """Called by asynchronous services to deliver a pending result
-        (completions are per-connection FIFO, matching request order)."""
         with self._ticket_lock:
-            if not self._awaiting:
-                return
-            ticket = self._awaiting[0]
-            if ticket not in self._pending:
-                # handle() has not returned PENDING yet — stash the result
-                # so the pipeline thread finishes it when it does.
-                self._early[ticket] = result
-                return
-            self._pending.discard(ticket)
-        self._finish(ticket, result)
+            self._handling_threads.pop(me, None)
+            ticket.handling = False
+            if result is PENDING:
+                if not ticket.done:
+                    # The reply will arrive via complete_request later.
+                    return
+                # The completion raced ahead of the PENDING return:
+                # flush it now on this thread.
+            else:
+                ticket.done = True
+                ticket.result = result
+        span.stage_end()  # the handle stage is over: the reply exists
+        self.flight.record("stage-exit", "handle", trace_id)
+        self._drain()
 
-    def _finish(self, ticket: Any, result: Any) -> None:
+    def current_ticket(self) -> Optional[Any]:
+        """The order ticket of the request this thread's handle hook is
+        processing.  A hook that goes asynchronous captures it and hands
+        it back to :meth:`complete_request`, pairing the reply with the
+        right request even when pipelined completions finish out of
+        order."""
+        with self._ticket_lock:
+            return self._handling_threads.get(threading.get_ident())
+
+    def complete_request(self, result: Any, ticket: Any = None) -> None:
+        """Called by asynchronous services to deliver a pending reply.
+
+        ``ticket`` (from :meth:`current_ticket`) pairs the reply with
+        its request; without one the oldest unresolved request is
+        assumed — only safe for protocols whose services complete in
+        request order.  Either way the reply is parked on its ticket
+        and flushed strictly in request order."""
+        with self._ticket_lock:
+            if ticket is None:
+                ticket = next(
+                    (t for t in self._awaiting if not t.done), None)
+            elif ticket not in self._awaiting or ticket.done:
+                # The connection errored out (queue cleared) or this is
+                # a duplicate completion: nothing to deliver.
+                ticket = None
+            if ticket is None:
+                return
+            ticket.done = True
+            ticket.result = result
+            if ticket.handling:
+                # Raced ahead of the PENDING return — the pipeline
+                # thread closes the handle stage and flushes.
+                return
+        ticket.span.stage_end()
+        self.flight.record("stage-exit", "handle",
+                           getattr(self.handle, "trace_id", 0))
+        self._drain()
+
+    def _drain(self) -> None:
+        """Flush resolved replies from the head of the request queue.
+
+        Only the head may flush — a resolved reply behind an
+        unresolved one waits — and only one thread flushes at a time; a
+        completion that finds a flush in progress parks its reply and
+        leaves it for that thread's next loop iteration."""
+        while True:
+            with self._ticket_lock:
+                head = self._awaiting[0] if self._awaiting else None
+                if (head is None or not head.done or head.handling
+                        or self._draining):
+                    return
+                self._draining = True
+                self._awaiting.popleft()
+            try:
+                self._deliver(head, head.result)
+            finally:
+                with self._ticket_lock:
+                    self._draining = False
+
+    def _deliver(self, ticket: Any, result: Any) -> None:
         trace_id = getattr(self.handle, "trace_id", 0)
         span = ticket.span
-        span.stage_end()  # closes "handle" (sync path; no-op if already closed)
-        self.flight.record("stage-exit", "handle", trace_id)
-        with self._ticket_lock:
-            try:
-                self._awaiting.remove(ticket)
-            except ValueError:
-                pass
         if self.closed:
             span.finish()
             return

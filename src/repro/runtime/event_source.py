@@ -107,8 +107,20 @@ class SocketEventSource(EventSource):
         if not isinstance(handle, (SocketHandle, ListenHandle)):
             raise TypeError(f"cannot select on {type(handle).__name__}")
         with self._lock:
-            self._handles[handle.fileno()] = handle
-            self._selector.register(handle.fileno(), selectors.EVENT_READ, handle)
+            fd = handle.fileno()
+            if fd in self._handles:
+                # A stale registration (socket closed without a
+                # deregister) must not kill the dispatcher when the
+                # kernel reuses the fd: drop it and register the new
+                # handle in its place.
+                self._paused.discard(id(self._handles[fd]))
+                self._unwatched.discard(fd)
+                try:
+                    self._selector.unregister(fd)
+                except (KeyError, ValueError):
+                    pass
+            self._handles[fd] = handle
+            self._selector.register(fd, selectors.EVENT_READ, handle)
 
     def deregister(self, handle: Handle) -> None:
         with self._lock:

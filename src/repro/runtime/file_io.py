@@ -124,7 +124,9 @@ class AsyncFileIO:
 
             root = os.path.abspath(self.root)
             full = os.path.abspath(os.path.join(root, path.lstrip("/")))
-            if not full.startswith(root):
+            # Containment needs the separator: a bare prefix check lets
+            # a sibling like ``<root>-secrets`` through.
+            if full != root and not full.startswith(root + os.sep):
                 raise FileNotFoundError(path)
         with open(full, "rb") as fh:
             return fh.read()
@@ -140,6 +142,16 @@ class AsyncFileIO:
             self.reads += 1
             try:
                 data = self._load(path)
+            except (FileNotFoundError, IsADirectoryError,
+                    NotADirectoryError) as exc:
+                # The file is absent, not the disk unhealthy: a 404-class
+                # miss must not trip the breaker or burn retry budget —
+                # a scanner walking dead URLs would otherwise black out
+                # the whole disk plane for everyone.
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                self.sink(FileReadEvent(token=act, error=exc,
+                                        priority=priority))
             except OSError as exc:
                 if self.breaker is not None:
                     self.breaker.record_failure()

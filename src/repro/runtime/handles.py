@@ -55,9 +55,22 @@ class SocketHandle(Handle):
         #: end-to-end trace id, stamped at the accept boundary and
         #: carried through dispatch, shard placement and the write path
         self.trace_id = next_trace_id()
+        # Cached so a fault-closed socket (fileno() == -1) can still be
+        # deregistered; -1 for the fake sockets tests wire in, which
+        # never meet a selector.
+        fileno = getattr(sock, "fileno", None)
+        self._fd = fileno() if fileno is not None else -1
+        # Serialises concurrent flushers: a completion thread inside
+        # send_bytes and the dispatcher answering a WritableEvent would
+        # otherwise both snapshot out_buffer and put the same bytes on
+        # the wire twice.
+        self._send_lock = threading.Lock()
 
     def fileno(self) -> int:
-        return self.sock.fileno()
+        # Cached at creation: a fault-closed socket reports -1, and the
+        # event source must still be able to deregister the real fd
+        # before the kernel hands it to a new connection.
+        return self._fd
 
     def try_recv(self, max_bytes: int = 65536) -> Optional[bytes]:
         """Non-blocking read: bytes, b'' on orderly EOF, None when the
@@ -79,24 +92,25 @@ class SocketHandle(Handle):
         ``sendmsg`` over its memoryview segments; the legacy
         ``bytearray`` path is unchanged.
         """
-        out = self.out_buffer
-        if not out:
-            return 0
-        iov = getattr(out, "iov", None)
-        try:
-            if iov is None:
-                n = self.sock.send(bytes(out))
-            elif hasattr(self.sock, "sendmsg"):
-                n = self.sock.sendmsg(iov())
-            else:  # pragma: no cover - platforms without sendmsg
-                n = self.sock.send(iov(1)[0])
-        except BlockingIOError:
-            return 0
-        except (ConnectionResetError, BrokenPipeError):
-            self.close()
-            return 0
-        del out[:n]
-        return n
+        with self._send_lock:
+            out = self.out_buffer
+            if not out:
+                return 0
+            iov = getattr(out, "iov", None)
+            try:
+                if iov is None:
+                    n = self.sock.send(bytes(out))
+                elif hasattr(self.sock, "sendmsg"):
+                    n = self.sock.sendmsg(iov())
+                else:  # pragma: no cover - platforms without sendmsg
+                    n = self.sock.send(iov(1)[0])
+            except BlockingIOError:
+                return 0
+            except (ConnectionResetError, BrokenPipeError):
+                self.close()
+                return 0
+            del out[:n]
+            return n
 
     @property
     def wants_write(self) -> bool:
@@ -134,6 +148,7 @@ class ListenHandle(Handle):
         #: Acceptor repoints this at its server's recorder.
         self.flight = GLOBAL_FLIGHT
         super().__init__(name=f"listen:{self.address[1]}")
+        self._fd = sock.fileno()
 
     @property
     def address(self) -> tuple:
@@ -144,7 +159,7 @@ class ListenHandle(Handle):
         return self.address[1]
 
     def fileno(self) -> int:
-        return self.sock.fileno()
+        return self._fd  # cached: stays valid for deregistration
 
     def try_accept(self) -> Optional[SocketHandle]:
         """Accept one pending connection, or None when none is pending."""

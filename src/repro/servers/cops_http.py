@@ -27,6 +27,15 @@ from repro.runtime import AsynchronousCompletionToken, PENDING, ServerHooks
 __all__ = ["CopsHttpHooks", "build_cops_http", "main"]
 
 
+class _Garbage(bytes):
+    """Unframeable input passed through to the Decode step, carrying
+    the framing error so its status survives the trip — an oversized
+    Content-Length must stay a 413, not get re-parsed into a served
+    request (a smuggling vector the conformance sweep caught)."""
+
+    error: Optional[http.BadRequest] = None
+
+
 class CopsHttpHooks(ServerHooks):
     """The hand-written part of COPS-HTTP (Table 4's "other application
     code"): HTTP semantics on top of the generated framework."""
@@ -44,25 +53,39 @@ class CopsHttpHooks(ServerHooks):
         """HTTP framing: head + Content-Length body."""
         try:
             return http.split_request(data)
-        except http.BadRequest:
+        except http.BadRequest as exc:
             # Let decode() see the garbage and answer with an error.
-            return bytes(data), b""
+            garbage = _Garbage(data)
+            garbage.error = exc
+            return garbage, b""
 
     # -- Decode Request ---------------------------------------------------
     def decode(self, raw: bytes, conn):
+        if isinstance(raw, _Garbage):
+            return raw.error  # the framing error, status intact
         try:
             request = http.parse_request(raw)
+        except http.BadRequest as exc:
+            return exc  # handled below; connection answers and closes
+        try:
             request.validate()
             return request
         except http.BadRequest as exc:
-            return exc  # handled below; connection answers and closes
+            # The request parsed, so the method is known: an error
+            # answering a HEAD must not carry the error page's body.
+            exc.head_only = request.method == "HEAD"
+            return exc
 
     # -- Handle Request -----------------------------------------------------
     def handle(self, request, conn):
         if isinstance(request, http.BadRequest):
-            return self._error(conn, request.status, close=True)
+            return self._error(conn, request.status, close=True,
+                               head_only=getattr(request, "head_only",
+                                                 False))
         if request.method not in ("GET", "HEAD"):
-            return self._error(conn, 501, version=request.version)
+            # Supported-but-unimplemented verb: 501 on a live connection.
+            return self._error(conn, 501, version=request.version,
+                               close=not request.keep_alive)
         if request.path == self.status_path:
             return self._server_status(request, conn)
         path = request.path
@@ -95,8 +118,13 @@ class CopsHttpHooks(ServerHooks):
                     path, stale, head_only, keep_alive, version,
                     brownout=brownout)
 
+        # The order ticket pairs the disk completion with *this* request:
+        # pipelined reads finish out of order (worker threads, inline
+        # cache hits) and the reply must not attach to whichever request
+        # happens to head the queue.
+        ticket = conn.current_ticket()
         act = AsynchronousCompletionToken(
-            context=(path, head_only, keep_alive, version),
+            context=(path, head_only, keep_alive, version, ticket),
             on_complete=lambda event: self._file_ready(conn, event),
         )
         conn.reactor.compute_request_event_handler.read_file(
@@ -123,6 +151,10 @@ class CopsHttpHooks(ServerHooks):
         ])
         if not keep_alive:
             headers.set("Connection", "close")
+        elif version == "HTTP/1.0":
+            # HTTP/1.0 defaults to close: staying open must be echoed,
+            # or the client hangs up after the first response.
+            headers.set("Connection", "keep-alive")
         response = http.HttpResponse(status=200, headers=headers,
                                      body=payload, version=version,
                                      head_only=head_only)
@@ -130,7 +162,7 @@ class CopsHttpHooks(ServerHooks):
         return response
 
     def _file_ready(self, conn, event) -> None:
-        path, head_only, keep_alive, version = event.token.context
+        path, head_only, keep_alive, version, ticket = event.token.context
         if not event.ok:
             # O17: a failing disk (or an open breaker) can still be
             # browned out — answer stale from the cache plane rather
@@ -143,17 +175,20 @@ class CopsHttpHooks(ServerHooks):
                     brownout.served_stale()
                     conn.complete_request(self._file_response(
                         path, stale, head_only, keep_alive, version,
-                        brownout=brownout))
+                        brownout=brownout), ticket)
                     return
             response = http.error_response(404, version=version,
-                                           close=not keep_alive)
+                                           close=not keep_alive,
+                                           head_only=head_only)
+            if keep_alive and version == "HTTP/1.0":
+                response.headers.set("Connection", "keep-alive")
             response._close_after = not keep_alive
         else:
             plane = o17.degradation_plane(conn)
             response = self._file_response(
                 path, event.payload, head_only, keep_alive, version,
                 brownout=getattr(plane, "brownout", None))
-        conn.complete_request(response)
+        conn.complete_request(response, ticket)
 
     def _server_status(self, request, conn):
         """The ``/server-status`` surface: HTML report, the Apache
@@ -168,7 +203,8 @@ class CopsHttpHooks(ServerHooks):
         keep_alive = request.keep_alive
         if observability is None:
             return self._error(conn, 404, version=request.version,
-                               close=not keep_alive)
+                               close=not keep_alive,
+                               head_only=request.method == "HEAD")
         query = request.query.split("&")
         auto = "auto" in query
         if "trace" in query:
@@ -185,6 +221,8 @@ class CopsHttpHooks(ServerHooks):
         headers = http.Headers([("Content-Type", content_type)])
         if not keep_alive:
             headers.set("Connection", "close")
+        elif request.version == "HTTP/1.0":
+            headers.set("Connection", "keep-alive")
         response = http.HttpResponse(status=200, headers=headers,
                                      body=body.encode("utf-8"),
                                      version=request.version,
@@ -193,8 +231,11 @@ class CopsHttpHooks(ServerHooks):
         return response
 
     def _error(self, conn, status: int, version: str = "HTTP/1.1",
-               close: bool = False):
-        response = http.error_response(status, version=version, close=close)
+               close: bool = False, head_only: bool = False):
+        response = http.error_response(status, version=version, close=close,
+                                       head_only=head_only)
+        if not close and version == "HTTP/1.0":
+            response.headers.set("Connection", "keep-alive")
         response._close_after = close
         return response
 

@@ -23,7 +23,8 @@ import socket
 import time
 from typing import Callable, Optional
 
-__all__ = ["FakeClock", "ServerFixture", "wait_until"]
+__all__ = ["FakeClock", "FakeHandle", "ServerFixture", "feed",
+           "wait_until"]
 
 
 class FakeClock:
@@ -53,6 +54,44 @@ class FakeClock:
         """Record the sleep and advance instantly — no real waiting."""
         self.sleeps.append(float(seconds))
         self.advance(seconds)
+
+
+class FakeHandle:
+    """In-memory stand-in for a SocketHandle: Communicator unit tests
+    inject bytes with :func:`feed` and read replies off ``sent``."""
+
+    def __init__(self):
+        self.name = "fake"
+        self.out_buffer = bytearray()
+        self.sent = bytearray()
+        self.last_activity = 0.0
+        self.closed = False
+
+    def try_recv(self, max_bytes=65536):
+        return None
+
+    def try_send(self):
+        n = len(self.out_buffer)
+        self.sent.extend(self.out_buffer)
+        del self.out_buffer[:]
+        return n
+
+    @property
+    def wants_write(self):
+        return bool(self.out_buffer)
+
+    def fileno(self):
+        return -1
+
+    def close(self):
+        self.closed = True
+
+
+def feed(conn, data: bytes) -> None:
+    """Inject bytes into a Communicator as if the socket delivered
+    them."""
+    conn.in_buffer.extend(data)
+    conn._pump_requests()
 
 
 def wait_until(predicate: Callable[[], bool], timeout: float = 10.0,

@@ -1,9 +1,8 @@
 """Tests for the periodic gauge sampler."""
 
-import time
-
 import pytest
 
+from harness import wait_until
 from repro.obs import MetricsRegistry, PeriodicSampler
 
 
@@ -66,13 +65,13 @@ def test_thread_mode_samples_until_stopped():
     sampler.add_probe("g", lambda: 1)
     sampler.start()
     sampler.start()                        # idempotent
-    deadline = time.monotonic() + 2.0
-    while reg.value("server_sampler_ticks_total") == 0:
-        assert time.monotonic() < deadline, "sampler thread never ticked"
-        time.sleep(0.005)
+    wait_until(lambda: reg.value("server_sampler_ticks_total") > 0,
+               timeout=2.0, message="sampler thread never ticked")
     sampler.stop()
     assert sampler._thread is None
     ticks = reg.value("server_sampler_ticks_total")
-    time.sleep(0.05)
-    assert reg.value("server_sampler_ticks_total") == ticks  # really stopped
+    # negative wait: no tick may arrive after stop
+    assert not wait_until(
+        lambda: reg.value("server_sampler_ticks_total") != ticks,
+        timeout=0.1)
     assert reg.value("g") == 1.0

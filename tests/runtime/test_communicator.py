@@ -2,47 +2,9 @@
 using a fake in-memory handle (no sockets)."""
 
 import threading
-import time
 
-import pytest
-
+from harness import FakeHandle, feed
 from repro.runtime import CLOSE, Communicator, PENDING, ServerHooks
-
-
-class FakeHandle:
-    """In-memory stand-in for a SocketHandle."""
-
-    def __init__(self):
-        self.name = "fake"
-        self.out_buffer = bytearray()
-        self.sent = bytearray()
-        self.last_activity = 0.0
-        self.closed = False
-
-    def try_recv(self, max_bytes=65536):
-        return None
-
-    def try_send(self):
-        n = len(self.out_buffer)
-        self.sent.extend(self.out_buffer)
-        del self.out_buffer[:]
-        return n
-
-    @property
-    def wants_write(self):
-        return bool(self.out_buffer)
-
-    def fileno(self):
-        return -1
-
-    def close(self):
-        self.closed = True
-
-
-def feed(conn, data: bytes):
-    """Inject bytes as if the socket delivered them."""
-    conn.in_buffer.extend(data)
-    conn._pump_requests()
 
 
 def test_sync_pipeline_echo():

@@ -6,6 +6,7 @@ import time
 
 import pytest
 
+from harness import FakeClock
 from repro.runtime import (
     EventKind,
     ListenHandle,
@@ -113,15 +114,19 @@ def test_pause_suppresses_readable_and_resume_restores():
 def test_wakeup_interrupts_blocking_poll():
     src = SocketEventSource()
     durations = []
+    entered = threading.Event()
 
     def poller():
         start = time.monotonic()
+        entered.set()
         src.poll(2.0)
         durations.append(time.monotonic() - start)
 
     t = threading.Thread(target=poller)
     t.start()
-    time.sleep(0.05)
+    # Even if wakeup lands before poll starts, the self-pipe byte makes
+    # the poll return immediately — no sleep-and-hope needed.
+    entered.wait(1.0)
     src.wakeup()
     t.join(timeout=3.0)
     src.close()
@@ -170,10 +175,11 @@ def test_timer_not_early():
 
 
 def test_timer_cancel():
-    src = TimerEventSource(NullEventSource())
+    clock = FakeClock()
+    src = TimerEventSource(NullEventSource(), clock=clock)
     token = src.schedule(0.05, payload="nope")
     src.cancel(token)
-    time.sleep(0.1)
+    clock.advance(0.2)  # well past the cancelled deadline
     events = src.poll(0.01)
     assert not any(e.kind == EventKind.TIMER for e in events)
 

@@ -3,10 +3,10 @@ standard library's ftplib client over real sockets."""
 
 import ftplib
 import io
-import time
 
 import pytest
 
+from harness import wait_until
 from repro.ftp import User, UserRegistry, VirtualFS
 from repro.servers import build_cops_ftp
 
@@ -106,9 +106,8 @@ def test_stor_and_dele_as_alice(setup):
     server, fs = setup
     ftp = connect(server, "alice", "pw")
     ftp.storbinary("STOR data.bin", io.BytesIO(b"\x01\x02\x03"))
-    deadline = time.monotonic() + 3
-    while time.monotonic() < deadline and not fs.exists("/home/alice/data.bin"):
-        time.sleep(0.02)
+    wait_until(lambda: fs.exists("/home/alice/data.bin"),
+               message="uploaded file never appeared in the VFS")
     assert fs.read_file("/home/alice/data.bin") == b"\x01\x02\x03"
     ftp.delete("data.bin")
     assert not fs.exists("/home/alice/data.bin")
@@ -145,11 +144,13 @@ def test_multiple_sessions_concurrently(setup):
 
 
 def test_roundtrip_upload_download(setup):
-    server, _ = setup
+    server, fs = setup
     payload = bytes(range(256)) * 100
     ftp = connect(server, "alice", "pw")
     ftp.storbinary("STOR blob", io.BytesIO(payload))
-    time.sleep(0.2)
+    wait_until(lambda: fs.exists("/home/alice/blob")
+               and fs.read_file("/home/alice/blob") == payload,
+               message="upload never fully landed in the VFS")
     buf = io.BytesIO()
     ftp.retrbinary("RETR blob", buf.write)
     assert buf.getvalue() == payload

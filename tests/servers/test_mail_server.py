@@ -2,10 +2,10 @@
 the standard library's smtplib over real sockets."""
 
 import smtplib
-import time
 
 import pytest
 
+from harness import wait_until
 from repro.servers import build_mail_server
 
 
@@ -18,12 +18,7 @@ def setup():
 
 
 def wait_for(predicate, timeout=3.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(0.02)
-    return False
+    return wait_until(predicate, timeout=timeout)
 
 
 def test_banner_and_ehlo(setup):
