@@ -121,6 +121,30 @@ def _derived_zero_copy(benchmarks: Sequence[Mapping]) -> Dict[str, float]:
     return {}
 
 
+def _derived_poller(benchmarks: Sequence[Mapping]) -> Dict[str, float]:
+    """Epoll speedup over select at the largest idle swarm measured."""
+    times: Dict[Tuple[object, object], List[float]] = {}
+    for bench in benchmarks:
+        extra = bench.get("extra", {})
+        poller = extra.get("poller")
+        idle = extra.get("idle_connections")
+        if poller is None or idle is None:
+            continue
+        times.setdefault((poller, idle), []).append(bench["stats"]["mean"])
+    idles = {idle for (_poller, idle) in times}
+    if not idles:
+        return {}
+    top = max(idles)
+    select = times.get(("select", top))
+    epoll = times.get(("epoll", top))
+    if select and epoll:
+        select_mean = sum(select) / len(select)
+        epoll_mean = sum(epoll) / len(epoll)
+        if epoll_mean > 0:
+            return {"epoll_speedup_idle": select_mean / epoll_mean}
+    return {}
+
+
 def _derived_degradation(benchmarks: Sequence[Mapping]) -> Dict[str, float]:
     """The graceful-vs-cliff ratios the sweep itself computes."""
     derived: Dict[str, float] = {}
@@ -166,6 +190,11 @@ SUITES: Dict[str, Suite] = {
               options={"O17": (False, True)},
               derive=_derived_degradation,
               smoke_deselect=("test_watermark_hill_climb",)),
+        Suite(name="poller",
+              file="bench_poller.py",
+              options={"O18": ("select", "epoll")},
+              derive=_derived_poller,
+              smoke_deselect=("test_epoll_speedup_under_idle_swarm",)),
     )
 }
 

@@ -34,6 +34,7 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     sharded = int(o["O14"]) > 1
     zerocopy = o["O15"] == "zerocopy"
     degradation = bool(o["O17"])
+    epoll = o["O18"] == "epoll"
 
     def on(flag: bool, line: str) -> str:
         return line if flag else OMIT
@@ -143,6 +144,12 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         'sampler.add_probe("server_buffer_pool_hit_rate", '
         'lambda: reactor.buffers.pool.stats.hit_rate, '
         'help="Header buffer pool hit rate (0..1)")')
+    # The pooled recv_into read path exists on every backend, so its
+    # gauge is unconditional in observability builds.
+    ctx["probe_read_pool_hit_rate"] = (
+        'sampler.add_probe("server_read_pool_hit_rate", '
+        'lambda: reactor.socket_source.read_pool.stats.hit_rate, '
+        'help="Pooled read buffer hit rate (0..1)")')
 
     # -- communication module -----------------------------------------------------
     ctx["use_codec"] = "True" if codec else "False"
@@ -286,6 +293,20 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         debug and pool,
         "self.processor.error_hook = self.processor.trace_error")
 
+    # -- poller module (O18) ------------------------------------------------
+    ctx["make_poller_component"] = on(epoll, "self.poller = Poller(self)")
+    ctx["socket_source_args"] = "poller=self.poller.backend" if epoll else ""
+    # Early-stopped accept drains re-post the listener under the
+    # edge-triggered backend; the level-triggered shape re-reports the
+    # backlog on every poll and needs no call site at all.
+    ctx["accept_repost"] = on(
+        epoll, "self.reactor.poller.repost_accept(listen)")
+    ctx["accept_batch_init"] = on(epoll, "taken = 0")
+    ctx["accept_batch_check"] = on(
+        epoll, "if taken >= self.reactor.configuration.accept_batch: "
+               "return self.reactor.poller.repost_accept(listen)")
+    ctx["accept_batch_count"] = on(epoll, "taken += 1")
+
     ctx["teardown_overload"] = on(overload, "self.overload.connection_closed()")
     ctx["teardown_log"] = on(
         logging, 'self.log.debug(f"teardown {conn.handle.name}")')
@@ -355,6 +376,12 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     ctx["log_accept_error"] = on(
         logging, 'self.reactor.log.error(f"accept error: {exc!r}")')
     ctx["make_resilience"] = on(resilient, "self.resilience = Resilience(self)")
+    # Wheel-backed deadline arming: a watched connection costs O(1) per
+    # re-arm instead of a full scan per monitor interval.
+    ctx["deadline_watch"] = on(
+        resilient, "self.resilience.deadlines.watch(conn)")
+    ctx["deadline_unwatch"] = on(
+        resilient, "self.resilience.deadlines.unwatch(conn)")
     ctx["start_resilience"] = on(resilient, "self.resilience.start()")
     ctx["stop_resilience"] = on(resilient, "self.resilience.stop()")
     ctx["try_accept_expr"] = (

@@ -4,7 +4,7 @@ Table 2 rows covered:
 
 ========  =========================================================
 Reactor   body depends on O1 O2 O4 O5 O6 O8 O9 O10 O11 O12 O13 O14
-          O15 O17 (NOT O3 — step handlers are installed by the
+          O15 O17 O18 (NOT O3 — step handlers are installed by the
           handlers module's ``install_step_handlers``; NOT O7 — idle
           wiring lives in ServerComponent / ServerEventHandler /
           Container)
@@ -48,6 +48,10 @@ def _zerocopy(o):
     return o["O15"] == "zerocopy"
 
 
+def _epoll(o):
+    return o["O18"] == "epoll"
+
+
 MODULE_REACTOR = ModuleSpec(
     name="reactor",
     doc="Central wiring of the generated framework: the extended Reactor "
@@ -79,6 +83,8 @@ MODULE_REACTOR = ModuleSpec(
                  guard=_o("O13"), options=("O13",)),
         Fragment("from $package.degradation import Degradation",
                  guard=_o("O17"), options=("O17",)),
+        Fragment("from $package.poller import Poller",
+                 guard=_epoll, options=("O18",)),
     ],
     classes=[
         ClassSpec(
@@ -99,7 +105,8 @@ MODULE_REACTOR = ModuleSpec(
                         $make_log
                         $make_observability
                         $make_profiler
-                        self.socket_source = rt.SocketEventSource()
+                        $make_poller_component
+                        self.socket_source = rt.SocketEventSource($socket_source_args)
                         self.timer_source = rt.TimerEventSource(self.socket_source)
                         self.source = rt.QueueEventSource(self.timer_source)
                         self.container = ContainerComponent(self)
@@ -131,7 +138,7 @@ MODULE_REACTOR = ModuleSpec(
                     # controller it upgrades and the file I/O it breaks.
                     options=("O1", "O2", "O4", "O5", "O6", "O8", "O9",
                              "O10", "O11", "O12", "O13", "O14", "O15",
-                             "O17"),
+                             "O17", "O18"),
                 ),
                 # -- connection plumbing -------------------------------------
                 Fragment(
@@ -139,21 +146,24 @@ MODULE_REACTOR = ModuleSpec(
                     def register_communicator(self, conn):
                         self.container.add(conn)
                         self.socket_source.register(conn.handle)
+                        $deadline_watch
 
                     def sync_interest(self, handle):
                         self.socket_source.update_interest(handle)
                         self.socket_source.wakeup()
-                    '''
+                    ''',
+                    options=("O13",),
                 ),
                 Fragment(
                     '''
                     def teardown_communicator(self, conn):
                         self.container.remove(conn)
                         self.socket_source.deregister(conn.handle)
+                        $deadline_unwatch
                         $teardown_overload
                         $teardown_log
                     ''',
-                    options=("O9", "O12"),
+                    options=("O9", "O12", "O13"),
                 ),
                 # -- event submission (O2=Yes: hand off to the pool) ----------
                 Fragment(

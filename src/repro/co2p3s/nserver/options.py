@@ -24,6 +24,7 @@ __all__ = [
     "COPS_HTTP_SHARDED_OPTIONS",
     "COPS_HTTP_ZEROCOPY_OPTIONS",
     "COPS_HTTP_DEGRADATION_OPTIONS",
+    "COPS_HTTP_EPOLL_OPTIONS",
     "ALL_FEATURES_ON",
     "POOL_TOGGLE_BASE",
     "DEGRADATION_TOGGLE_BASE",
@@ -102,6 +103,15 @@ NSERVER_OPTION_SPECS = (
     OptionSpec(key="O17", name="Degradation policy",
                describe_values="Yes/No", default=False,
                values=(True, False)),
+    # Fifth structural extension: the readiness-selection backend.
+    # "epoll" generates a Poller component pinning the edge-triggered
+    # Linux backend, plus batched-accept bounds and listener re-posting
+    # on every early-stopped drain (an edge, once consumed, is never
+    # re-delivered).  "select" is the paper's portable scan-based shape
+    # and emits zero poller code.
+    OptionSpec(key="O18", name="Poller",
+               describe_values="select/epoll", default="select",
+               values=("select", "epoll")),
 )
 
 #: Table 1, COPS-FTP column.
@@ -175,6 +185,12 @@ COPS_HTTP_ZEROCOPY_OPTIONS = dict(COPS_HTTP_OPTIONS, O15="zerocopy")
 COPS_HTTP_DEGRADATION_OPTIONS = dict(
     COPS_HTTP_OBSERVABILITY_OPTIONS, O9=True, O17=True)
 
+#: COPS-HTTP on the edge-triggered poller (O18=epoll): a generated
+#: Poller component pins the O(ready) epoll backend, bounds the accept
+#: drain per readiness event and re-posts early-stopped listeners —
+#: the fig3-poller throughput-comparison shape.
+COPS_HTTP_EPOLL_OPTIONS = dict(COPS_HTTP_OPTIONS, O18="epoll")
+
 #: Everything enabled — the base point for the Table 2 crosscut analysis
 #: (all optional classes exist, so existence toggles are observable).
 ALL_FEATURES_ON: Dict[str, object] = {
@@ -194,6 +210,7 @@ ALL_FEATURES_ON: Dict[str, object] = {
     "O14": 2,
     "O15": "zerocopy",
     "O17": True,
+    "O18": "epoll",
 }
 
 #: Secondary crosscut base: with scheduling / overload / dynamic threads

@@ -51,6 +51,7 @@ TABLE2_CLASS_ORDER = [
     "Sharding",
     "Buffers",
     "Degradation",
+    "Poller",
 ]
 
 PAPER_TABLE2 = {
@@ -123,15 +124,21 @@ PAPER_TABLE2 = {
 #: sharded) swap silent postponement for explicit shedding, the
 #: configuration carries the tuning block and the Observability
 #: wire probes shed totals, brownout level and breaker state.
+#: The O18 edge-triggered poller extension adds the Poller row
+#: (exists iff O18=epoll; the body itself is option-independent) and
+#: '+' cells where the backend weaves in: the Reactor builds the
+#: component and hands its backend to the socket event source, the
+#: accept loops bound their drain and re-post early-stopped
+#: listeners, and the configuration carries the batch knob.
 TABLE2_EXTENSIONS = {
     "Observability": {"O2": "+", "O6": "+", "O9": "+", "O10": "+",
                       "O11": "O", "O14": "+", "O15": "+", "O17": "+"},
     "ServerComponent": {"O11": "+", "O14": "+", "O15": "+"},
     "ServerConfiguration": {"O11": "+", "O13": "+", "O14": "+", "O15": "+",
-                            "O17": "+"},
+                            "O17": "+", "O18": "+"},
     "Resilience": {"O2": "+", "O11": "+", "O12": "+", "O13": "O"},
-    "Reactor": {"O13": "+", "O14": "+", "O15": "+", "O17": "+"},
-    "AcceptorEventHandler": {"O13": "+", "O17": "+"},
+    "Reactor": {"O13": "+", "O14": "+", "O15": "+", "O17": "+", "O18": "+"},
+    "AcceptorEventHandler": {"O13": "+", "O17": "+", "O18": "+"},
     "Server": {"O13": "+", "O14": "+"},
     "EventDispatcher": {"O14": "+"},
     "Sharding": {"O9": "+", "O11": "+", "O12": "+", "O13": "+",
@@ -139,6 +146,7 @@ TABLE2_EXTENSIONS = {
     "CommunicatorComponent": {"O15": "+"},
     "Buffers": {"O15": "O"},
     "Degradation": {"O11": "+", "O12": "+", "O17": "O"},
+    "Poller": {"O18": "O"},
 }
 
 

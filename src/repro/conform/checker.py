@@ -389,7 +389,8 @@ class CornerResult:
 
 
 def _build_corner_server(corner: Corner, workdir: str,
-                         files: Dict[str, bytes]):
+                         files: Dict[str, bytes],
+                         poller: Optional[str] = None):
     from repro.servers.cops_http import build_cops_http
 
     docroot = os.path.join(workdir, "docroot")
@@ -402,7 +403,7 @@ def _build_corner_server(corner: Corner, workdir: str,
              if corner.fault_spec is not None else None)
     server, fw, _report = build_cops_http(
         docroot, options=corner.options, dest=dest, package=package,
-        **corner.build, **corner.config)
+        poller=poller, **corner.build, **corner.config)
     if plane is not None:
         plane.install(server)
     if corner.brownout_level is not None:
@@ -424,14 +425,21 @@ def _probe_alive(host: str, port: int) -> bool:
 def run_corner(corner: Corner, sessions: Sequence[Session],
                files: Optional[Dict[str, bytes]] = None,
                workdir: Optional[str] = None,
-               concurrency: int = 4) -> CornerResult:
+               concurrency: int = 4,
+               poller: Optional[str] = None) -> CornerResult:
     """Replay ``sessions`` against a freshly generated server for
-    ``corner`` and judge every stream against the model."""
+    ``corner`` and judge every stream against the model.
+
+    ``poller`` pins the readiness backend (template option O18) for the
+    corner's generated framework; ``None`` keeps the corner's own
+    options (and the runtime's platform pick) untouched.
+    """
     files = files if files is not None else DEFAULT_FILES
     workdir = workdir or tempfile.mkdtemp(prefix=f"conform_{corner.name}_")
     vfs = ModelVFS(files)
     result = CornerResult(corner=corner, sessions=len(sessions))
-    server, _plane = _build_corner_server(corner, workdir, files)
+    server, _plane = _build_corner_server(corner, workdir, files,
+                                          poller=poller)
     server.start()
     try:
         host, port = "127.0.0.1", server.port

@@ -19,6 +19,11 @@ from repro.experiments.fig3_fig4 import (
     SHARD_SWEEP_BASE,
     run_shard_sweep,
 )
+from repro.experiments.fig3_poller import (
+    PollerPoint,
+    format_fig3_poller,
+    run_poller_sweep,
+)
 from repro.experiments.fig3_zerocopy import (
     WritePathPoint,
     format_fig3_zerocopy,
@@ -42,6 +47,7 @@ __all__ = [
     "run_degradation_cliff",
     "tune_watermark",
     "format_fig3",
+    "format_fig3_poller",
     "format_fig3_shards",
     "format_fig3_zerocopy",
     "format_fig4",
@@ -57,7 +63,9 @@ __all__ = [
     "run_shard_sweep",
     "run_fig6",
     "run_table1",
+    "run_poller_sweep",
     "run_zerocopy_sweep",
+    "PollerPoint",
     "WritePathPoint",
     "run_table2",
     "run_table3",

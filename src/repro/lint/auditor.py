@@ -21,7 +21,7 @@ configuration:
    match the template's declared fragment metadata and the checked-in
    :data:`~repro.co2p3s.nserver.table2.EXPECTED_TABLE2`.
 
-:func:`audit_suite` sweeps a configuration set that exercises all 16
+:func:`audit_suite` sweeps a configuration set that exercises all 17
 options: the shipped presets plus every single-option toggle from the
 three crosscut bases.
 """
@@ -140,6 +140,17 @@ _O17_FORBIDDEN = re.compile(
     r"|AdaptiveController|\badaptive_|hill_climb",
     re.IGNORECASE)
 
+#: edge-triggered poller vocabulary that must not survive into an
+#: O18=select build: the backend factory, the Poller component, batch
+#: bounds and listener re-posting all belong to the poller tentpole,
+#: whose generated call sites exist only when O18=epoll.  (The plain
+#: word "poll" would false-positive on ordinary Reactor prose, hence
+#: the targeted forms.)
+_O18_FORBIDDEN = re.compile(
+    r"\bepoll|EPOLLET|edge.?triggered|make_poller|\bPoller\b"
+    r"|repost_accept|force_ready|accept_batch|TimerWheel|timer.?wheel",
+    re.IGNORECASE)
+
 
 def _option_value(options, key: str, default):
     """Exception-safe option lookup: audit callers may pass a full
@@ -167,6 +178,8 @@ def audit_report(report, label: str,
     absent = class_universe() - emitted
     check_o11 = options is not None and not options["O11"]
     check_o17 = options is not None and not _option_value(options, "O17", True)
+    check_o18 = (options is not None
+                 and _option_value(options, "O18", "epoll") == "select")
     for filename, text in sorted(report.files.items()):
         where = f"{label}/{filename}"
         if check_o11 and filename != "__init__.py":
@@ -188,6 +201,16 @@ def audit_report(report, label: str,
                     location=where,
                     message=(f"O17=No build mentions {match.group(0)!r} — "
                              f"disabled degradation plane left residue"),
+                ))
+        if check_o18 and filename != "__init__.py":
+            match = _O18_FORBIDDEN.search(text)
+            if match is not None:
+                findings.append(Finding(
+                    kind="audit",
+                    ident=f"audit:o18-purity:{filename}",
+                    location=where,
+                    message=(f"O18=select build mentions {match.group(0)!r} "
+                             f"— disabled epoll backend left residue"),
                 ))
         try:
             tree = ast.parse(text, filename=where)
@@ -287,7 +310,7 @@ def audit_config(options: Mapping[str, object], label: str,
 
 
 def suite_configs() -> List[Tuple[str, Dict[str, object]]]:
-    """(label, options) pairs exercising every one of the 16 options.
+    """(label, options) pairs exercising every one of the 17 options.
 
     The shipped presets cover the paper's configurations; on top, each
     option is toggled through each of its non-base legal values from

@@ -62,6 +62,13 @@ from repro.runtime.file_io import AsyncFileIO
 from repro.runtime.handles import FileHandle, Handle, ListenHandle, SocketHandle
 from repro.runtime.idle import IdleConnectionReaper
 from repro.runtime.overload import OverloadController, Watermark
+from repro.runtime.poller import (
+    EpollPoller,
+    Poller,
+    SelectPoller,
+    available_pollers,
+    make_poller,
+)
 from repro.runtime.processor import EventProcessor, ProcessorController
 from repro.runtime.profiling import NULL_PROFILER, NullProfiler, Profiler, ServerProfile
 from repro.runtime.resilience import (
@@ -82,6 +89,7 @@ from repro.runtime.sharding import (
     ShardPolicy,
     make_shard_policy,
 )
+from repro.runtime.timerwheel import TimerWheel
 from repro.runtime.tracing import (
     NULL_LOG,
     NULL_TRACER,
@@ -113,6 +121,7 @@ __all__ = [
     "Container",
     "DeadlineMonitor",
     "DeadlinePolicy",
+    "EpollPoller",
     "Event",
     "EventDispatcher",
     "EventKind",
@@ -139,6 +148,7 @@ __all__ = [
     "OutBuffer",
     "OverloadController",
     "PENDING",
+    "Poller",
     "PooledBuffer",
     "ProcessorController",
     "Profiler",
@@ -150,6 +160,7 @@ __all__ = [
     "RetryBudget",
     "RoundRobinPolicy",
     "RuntimeConfig",
+    "SelectPoller",
     "ServerHooks",
     "ServerLog",
     "ServerProfile",
@@ -163,14 +174,17 @@ __all__ = [
     "SojournQueue",
     "TimerEvent",
     "TimerEventSource",
+    "TimerWheel",
     "TokenBucket",
     "TraceRecord",
     "UserEvent",
     "Watermark",
     "WorkerSupervisor",
     "WritableEvent",
+    "available_pollers",
     "hill_climb",
     "is_transient_accept_error",
+    "make_poller",
     "make_shard_policy",
     "reject_handle",
     "rejection_response",

@@ -48,6 +48,7 @@ class Acceptor:
         register_accepted: bool = True,
         flight=None,
         shedding=None,
+        accept_batch: Optional[int] = None,
     ):
         self.listen = listen
         self.source = source
@@ -71,8 +72,15 @@ class Acceptor:
         #: a sharded accept plane hands the handle to a shard's own
         #: Event Source instead of the acceptor's.
         self.register_accepted = register_accepted
+        #: bound on accepts per AcceptEvent (None = drain to EAGAIN).
+        #: Hitting the bound re-posts the listen handle via the event
+        #: source's ``force_ready`` so the rest of the backlog is picked
+        #: up next tick — required under edge-triggered backends, where
+        #: an un-drained backlog produces no further notifications.
+        self.accept_batch = accept_batch
         self.accepted = 0
         self.postponed = 0
+        self.rebatched = 0
         self.rejected = 0
         self.accept_errors = 0
 
@@ -81,8 +89,14 @@ class Acceptor:
         self.source.register(self.listen)
 
     def handle(self, event: AcceptEvent) -> None:
-        """Drain the kernel accept queue (subject to overload control)."""
+        """Drain the kernel accept queue (subject to overload control),
+        taking at most :attr:`accept_batch` connections per event."""
+        taken = 0
         while True:
+            if self.accept_batch is not None and taken >= self.accept_batch:
+                self.rebatched += 1
+                self._repost()
+                return
             decision = None
             if self.shedding is not None:
                 decision = self.shedding.admit_accept()
@@ -90,12 +104,16 @@ class Acceptor:
                     # Explicitly chosen postpone (on_overload="postpone"):
                     # the policy already recorded the reason.
                     self.postponed += 1
+                    self._repost()
                     return
             elif self.overload is not None and not self.overload.accepting():
                 # Postpone: leave remaining connections in the kernel
-                # backlog; they will surface as another AcceptEvent.
+                # backlog; they will surface as another AcceptEvent —
+                # level-triggered backends re-report them per poll,
+                # edge-triggered ones need the explicit re-post.
                 self.postponed += 1
                 self.flight.record("shed", "accept postponed: overloaded")
+                self._repost()
                 return
             try:
                 handle = self.listen.try_accept()
@@ -111,6 +129,7 @@ class Acceptor:
                 if is_transient_accept_error(exc):
                     continue
                 time.sleep(self.backoff)
+                self._repost()
                 return
             if handle is None:
                 return
@@ -129,6 +148,7 @@ class Acceptor:
                     self._reject(handle, limited, record=False)
                     continue
             handle.last_activity = self.clock()
+            taken += 1
             self.accepted += 1
             self.profiler.connection_accepted()
             if self.overload is not None:
@@ -136,6 +156,12 @@ class Acceptor:
             self.on_connection(handle)
             if self.register_accepted:
                 self.source.register(handle)
+
+    def _repost(self) -> None:
+        """Re-post the listen handle when leaving backlog behind on an
+        edge-triggered source (level-triggered ones re-report it free)."""
+        if getattr(self.source, "edge_triggered", False):
+            self.source.force_ready(self.listen)
 
     def _reject(self, handle: SocketHandle, decision, record: bool = True) -> None:
         """Cheap write-path rejection: canned payload, flush, close.

@@ -65,6 +65,17 @@ class SocketHandle(Handle):
         # otherwise both snapshot out_buffer and put the same bytes on
         # the wire twice.
         self._send_lock = threading.Lock()
+        #: read :class:`~repro.runtime.buffers.BufferPool` — attached by
+        #: the event source at registration; None reads into a private
+        #: buffer instead (handles never registered anywhere)
+        self.read_pool = None
+        self._read_owner = None     # PooledBuffer checked out of read_pool
+        self._read_buf: Optional[bytearray] = None
+        # Guards the recv buffer against the close path releasing it to
+        # the pool mid-read (which would let a new owner scribble over
+        # bytes still being parsed).  Reentrant: recv_into_buffer holds
+        # it across try_recv plus the copy-out.
+        self._read_lock = threading.RLock()
 
     def fileno(self) -> int:
         # Cached at creation: a fault-closed socket reports -1, and the
@@ -73,14 +84,59 @@ class SocketHandle(Handle):
         return self._fd
 
     def try_recv(self, max_bytes: int = 65536) -> Optional[bytes]:
-        """Non-blocking read: bytes, b'' on orderly EOF, None when the
-        socket would block."""
-        try:
-            return self.sock.recv(max_bytes)
-        except BlockingIOError:
-            return None
-        except (ConnectionResetError, BrokenPipeError):
-            return b""
+        """Non-blocking read: received bytes (as a ``memoryview`` over
+        the connection's reusable read buffer — copy before the next
+        call), b'' on orderly EOF, None when the socket would block.
+
+        ``recv_into`` a pooled buffer replaces the old fresh-``bytes``
+        per call: one buffer per live connection, checked out of the
+        event source's read pool on first use and returned at close.
+        """
+        with self._read_lock:
+            buf = self._read_buf
+            if buf is None:
+                if self.read_pool is not None:
+                    self._read_owner = self.read_pool.acquire(max_bytes)
+                    buf = self._read_owner.data
+                else:
+                    # Full-sized even when this read is capped (fault
+                    # injection passes tiny max_bytes): the buffer is
+                    # attached for the connection's lifetime.
+                    buf = bytearray(max(max_bytes, 65536))
+                self._read_buf = buf
+            limit = min(max_bytes, len(buf))
+            try:
+                n = self.sock.recv_into(memoryview(buf)[:limit])
+            except BlockingIOError:
+                return None
+            except (ConnectionResetError, BrokenPipeError):
+                return b""
+            return memoryview(buf)[:n]
+
+    def recv_into_buffer(self, sink, max_bytes: int = 65536) -> Optional[int]:
+        """:meth:`try_recv` plus copy-out into ``sink`` under the read
+        lock, so a concurrent close cannot release the pooled buffer to
+        a new owner between the recv and the copy.  Returns the byte
+        count, 0 on EOF, None when the socket would block.  Dispatches
+        through ``try_recv`` so fault-injecting subclasses stay in the
+        loop."""
+        with self._read_lock:
+            chunk = self.try_recv(max_bytes)
+            if chunk is None:
+                return None
+            n = len(chunk)
+            if n:
+                sink.extend(chunk)
+            return n
+
+    def release_read_buffer(self) -> None:
+        """Return the pooled read buffer (idempotent; called at close
+        and on event-source deregistration)."""
+        with self._read_lock:
+            owner, self._read_owner = self._read_owner, None
+            self._read_buf = None
+        if owner is not None:
+            owner.release()
 
     def try_send(self) -> int:
         """Flush as much of ``out_buffer`` as the kernel accepts; returns
@@ -123,6 +179,7 @@ class SocketHandle(Handle):
             except OSError:  # pragma: no cover - platform dependent
                 pass
         super().close()
+        self.release_read_buffer()
 
 
 class ListenHandle(Handle):

@@ -4,9 +4,13 @@
 performance of network server applications.  The N-Server generates code
 that is able to automatically terminate these connections."
 
-The reaper periodically scans registered connections and closes any
-whose ``last_activity`` is older than the idle limit, invoking the
-framework's close callback so the Communicator is torn down properly.
+Watched connections carry one lazily re-armed timer on a hashed
+:class:`~repro.runtime.timerwheel.TimerWheel`: ``watch``/``unwatch``
+are O(1), and a background :meth:`tick` touches only the handles whose
+timer fired — a fired-but-not-idle handle (activity since arming) is
+simply re-armed at ``last_activity + idle_limit``.  The legacy
+:meth:`scan` full pass is kept for callers that drive the reaper
+manually against an injected clock (tests, the simulator).
 """
 
 from __future__ import annotations
@@ -16,12 +20,13 @@ import time
 from typing import Callable, Dict, Optional
 
 from repro.runtime.handles import SocketHandle
+from repro.runtime.timerwheel import TimerWheel
 
 __all__ = ["IdleConnectionReaper"]
 
 
 class IdleConnectionReaper:
-    """Scan-and-close reaper for idle connections.
+    """Timer-wheel reaper for idle connections.
 
     Works on any object exposing ``last_activity`` and ``closed`` —
     real :class:`SocketHandle` instances or the simulator's connection
@@ -31,7 +36,8 @@ class IdleConnectionReaper:
     def __init__(self, idle_limit: float,
                  on_idle: Callable[[object], None],
                  clock=time.monotonic,
-                 scan_interval: Optional[float] = None):
+                 scan_interval: Optional[float] = None,
+                 wheel: Optional[TimerWheel] = None):
         if idle_limit <= 0:
             raise ValueError("idle_limit must be positive")
         self.idle_limit = idle_limit
@@ -39,8 +45,12 @@ class IdleConnectionReaper:
         self.clock = clock
         self.scan_interval = scan_interval if scan_interval is not None \
             else max(idle_limit / 4.0, 0.01)
+        self.wheel = wheel if wheel is not None else TimerWheel(
+            tick=max(min(self.scan_interval, idle_limit / 8.0), 0.005),
+            slots=512, clock=clock)
         self._lock = threading.Lock()
         self._watched: Dict[int, object] = {}
+        self._tokens: Dict[int, int] = {}  # id(handle) -> wheel token
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.reaped = 0
@@ -48,20 +58,62 @@ class IdleConnectionReaper:
     # -- registration -------------------------------------------------------
     def watch(self, handle) -> None:
         with self._lock:
-            self._watched[id(handle)] = handle
+            key = id(handle)
+            self._watched[key] = handle
+            old = self._tokens.pop(key, None)
+            if old is not None:
+                self.wheel.cancel(old)
+            self._tokens[key] = self.wheel.schedule(self.idle_limit, key)
 
     def unwatch(self, handle) -> None:
         with self._lock:
-            self._watched.pop(id(handle), None)
+            key = id(handle)
+            self._watched.pop(key, None)
+            token = self._tokens.pop(key, None)
+            if token is not None:
+                self.wheel.cancel(token)
 
     @property
     def watched_count(self) -> int:
         with self._lock:
             return len(self._watched)
 
-    # -- scanning -----------------------------------------------------------
+    # -- wheel-driven pass --------------------------------------------------
+    def tick(self) -> int:
+        """Process fired idle timers; returns how many connections were
+        reaped.  O(fired), not O(watched): a quiet pass over thousands
+        of healthy connections does no per-connection work at all."""
+        fired = self.wheel.advance()
+        if not fired:
+            return 0
+        now = self.clock()
+        victims = []
+        with self._lock:
+            for _deadline, token, key in fired:
+                if self._tokens.get(key) != token:
+                    continue  # re-armed or unwatched since firing
+                handle = self._watched.get(key)
+                if handle is None or getattr(handle, "closed", False):
+                    self._watched.pop(key, None)
+                    self._tokens.pop(key, None)
+                    continue
+                idle = now - handle.last_activity
+                if idle > self.idle_limit:
+                    self._watched.pop(key, None)
+                    self._tokens.pop(key, None)
+                    victims.append(handle)
+                else:
+                    # Activity since arming: re-arm for the remainder.
+                    self._tokens[key] = self.wheel.schedule(
+                        max(self.idle_limit - idle, 0.0), key)
+        for handle in victims:
+            self.reaped += 1
+            self.on_idle(handle)
+        return len(victims)
+
+    # -- legacy full scan ---------------------------------------------------
     def scan(self) -> int:
-        """One pass; returns how many connections were reaped.
+        """One full pass; returns how many connections were reaped.
 
         The registry is snapshotted under the lock and examined outside
         it: ``watch``/``unwatch`` from connection threads can then never
@@ -79,8 +131,14 @@ class IdleConnectionReaper:
         with self._lock:
             for h in victims:
                 self._watched.pop(id(h), None)
+                token = self._tokens.pop(id(h), None)
+                if token is not None:
+                    self.wheel.cancel(token)
             for key in stale:
                 self._watched.pop(key, None)
+                token = self._tokens.pop(key, None)
+                if token is not None:
+                    self.wheel.cancel(token)
         for h in victims:
             self.reaped += 1
             self.on_idle(h)
@@ -101,5 +159,8 @@ class IdleConnectionReaper:
             self._thread = None
 
     def _run(self) -> None:
-        while not self._stop.wait(self.scan_interval):
-            self.scan()
+        # Fixed cadence: the wheel makes each pass O(fired), so waking
+        # at the old scan rate costs almost nothing when nothing fired.
+        while not self._stop.wait(min(self.scan_interval,
+                                      self.wheel.tick * 4)):
+            self.tick()

@@ -90,7 +90,21 @@ class DeadlinePolicy:
 
 
 class DeadlineMonitor:
-    """Scans connections and closes any that blew a stage deadline.
+    """Closes connections that blew a per-stage deadline.
+
+    Two operating modes share one violation check:
+
+    * **watched** — the owning server calls :meth:`watch` per accepted
+      connection and :meth:`unwatch` at teardown.  Each watched
+      connection carries one lazily re-armed timer on a hashed
+      :class:`~repro.runtime.timerwheel.TimerWheel`; the background
+      thread's :meth:`tick` inspects only fired entries (O(fired) per
+      pass, O(1) re-arm/cancel), re-arming at the earliest active
+      stage deadline, or at a parked recheck period while the
+      connection is idle.
+    * **legacy scan** — callers that never ``watch`` (the simulator,
+      manual tests with an injected clock) still get the periodic
+      full :meth:`scan` over ``connections``.
 
     ``connections`` is a zero-argument callable returning the current
     connection list (:meth:`Container.connections` fits).  Violations
@@ -105,6 +119,7 @@ class DeadlineMonitor:
         interval: float = 0.1,
         counter=NULL_METRIC,
         log=NULL_LOG,
+        wheel=None,
     ):
         self.connections = connections
         self.policy = policy
@@ -114,6 +129,21 @@ class DeadlineMonitor:
         self.log = log
         self.reasons = {"header": 0, "request": 0, "write": 0}
         self.timed_out = 0
+        if wheel is None:
+            from repro.runtime.timerwheel import TimerWheel
+            wheel = TimerWheel(tick=max(interval / 2.0, 0.01), slots=512,
+                               clock=clock)
+        self.wheel = wheel
+        #: while no stage is active the per-connection timer parks at
+        #: this recheck period; a stage starting right after a parked
+        #: check is still caught within deadline + one period
+        enabled = [t for t in (policy.header, policy.request, policy.write)
+                   if t is not None]
+        self.park_interval = max(interval,
+                                 min(enabled) / 4.0 if enabled else interval)
+        self._watch_lock = threading.Lock()
+        self._watched: dict = {}   # id(conn) -> conn
+        self._tokens: dict = {}    # id(conn) -> wheel token
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -135,8 +165,92 @@ class DeadlineMonitor:
                 return "write"
         return None
 
+    def _next_check(self, conn, now: float) -> float:
+        """Seconds until ``conn`` next needs a look: the earliest active
+        stage deadline, or the parked recheck period while idle."""
+        p = self.policy
+        soonest = None
+        for limit, started in (
+            (p.header, getattr(conn, "read_started", None)),
+            (p.request, conn.oldest_pending_started()),
+            (p.write, getattr(conn, "write_blocked_since", None)),
+        ):
+            if limit is None or started is None:
+                continue
+            due = started + limit - now
+            if soonest is None or due < soonest:
+                soonest = due
+        if soonest is None:
+            return self.park_interval
+        # Exact arming is safe: stage stamps only ever move later, so a
+        # timer armed for the current stamp can never overshoot a future
+        # one — it fires, finds the newer stamp, and re-arms for it.
+        return max(soonest, self.wheel.tick)
+
+    # -- per-connection timers ----------------------------------------------
+    def watch(self, conn) -> None:
+        """Start monitoring one connection (O(1))."""
+        with self._watch_lock:
+            key = id(conn)
+            self._watched[key] = conn
+            old = self._tokens.pop(key, None)
+            if old is not None:
+                self.wheel.cancel(old)
+            self._tokens[key] = self.wheel.schedule(
+                self._next_check(conn, self.clock()), key)
+
+    def unwatch(self, conn) -> None:
+        """Stop monitoring (O(1), idempotent)."""
+        with self._watch_lock:
+            key = id(conn)
+            self._watched.pop(key, None)
+            token = self._tokens.pop(key, None)
+            if token is not None:
+                self.wheel.cancel(token)
+
+    @property
+    def watched_count(self) -> int:
+        with self._watch_lock:
+            return len(self._watched)
+
+    def tick(self) -> int:
+        """Check fired timers only; returns how many connections were
+        closed.  Healthy connections whose timer fired are re-armed at
+        their next interesting moment."""
+        fired = self.wheel.advance()
+        if not fired:
+            return 0
+        now = self.clock()
+        victims = []
+        with self._watch_lock:
+            for _deadline, token, key in fired:
+                if self._tokens.get(key) != token:
+                    continue  # re-armed or unwatched since firing
+                conn = self._watched.get(key)
+                if conn is None or conn.closed:
+                    self._watched.pop(key, None)
+                    self._tokens.pop(key, None)
+                    continue
+                reason = self._violation(conn, now)
+                if reason is not None:
+                    self._watched.pop(key, None)
+                    self._tokens.pop(key, None)
+                    victims.append((conn, reason))
+                else:
+                    self._tokens[key] = self.wheel.schedule(
+                        self._next_check(conn, now), key)
+        for conn, reason in victims:
+            self.reasons[reason] += 1
+            self.timed_out += 1
+            self.counter.inc()
+            self.log.info(
+                f"deadline ({reason}) exceeded on {conn.handle.name}; closing")
+            conn.close()
+        return len(victims)
+
     def scan(self) -> int:
-        """One pass; returns how many connections were closed."""
+        """One full pass over ``connections``; returns how many were
+        closed.  The legacy path for drivers that never :meth:`watch`."""
         now = self.clock()
         closed = 0
         for conn in self.connections():
@@ -171,9 +285,16 @@ class DeadlineMonitor:
             self._thread = None
 
     def _run(self) -> None:
-        """Scanning loop: one :meth:`scan` per interval."""
+        """Monitor loop: wheel :meth:`tick` per interval, falling back
+        to the legacy full :meth:`scan` while nothing is watched (a
+        driver that never wired :meth:`watch` still gets coverage; with
+        watchers, the scan is skipped and each pass is O(fired))."""
         while not self._stop.wait(self.interval):
-            self.scan()
+            self.tick()
+            with self._watch_lock:
+                unwired = not self._tokens
+            if unwired:
+                self.scan()
 
 
 # -- worker supervision -------------------------------------------------------

@@ -121,6 +121,8 @@ class RuntimeConfig:
     write_path: str = "buffered"                # O15: "buffered"/"zerocopy"
     buffer_size_classes: tuple = (1024, 4096, 16384, 65536)
     buffer_pool_limit: int = 64                 # free buffers kept per class
+    poller: Optional[str] = None                # O18: "select"/"epoll"/None=auto
+    accept_batch: Optional[int] = 64            # accepts per AcceptEvent
     header_timeout: float = 5.0
     request_timeout: float = 30.0
     write_timeout: float = 30.0
@@ -209,7 +211,9 @@ class ReactorServer:
                 f"not {config.write_path!r}")
 
         # Event source chain (Decorator): sockets -> timers -> app queue.
-        self.socket_source = SocketEventSource()
+        # The socket base rides the configured Poller backend (O18):
+        # explicit name, else $REPRO_POLLER, else the platform's best.
+        self.socket_source = SocketEventSource(poller=config.poller)
         self.timer_source = TimerEventSource(self.socket_source)
         self.app_source = QueueEventSource(self.timer_source)
         self.source = self.app_source
@@ -365,6 +369,10 @@ class ReactorServer:
                     "server_buffer_pool_hit_rate",
                     lambda: self.buffer_pool.stats.hit_rate,
                     help="Header buffer pool hit rate (0..1)")
+            sampler.add_probe(
+                "server_read_pool_hit_rate",
+                lambda: self.socket_source.read_pool.stats.hit_rate,
+                help="Pooled recv_into buffer hit rate (0..1)")
             if self.shedding is not None:
                 sampler.add_probe(
                     "server_shed_total",
@@ -474,6 +482,8 @@ class ReactorServer:
         self.container.add(conn)
         if self.reaper is not None:
             self.reaper.watch(handle)
+        if self.deadlines is not None:
+            self.deadlines.watch(conn)
         return conn
 
     def _update_interest(self, handle) -> None:
@@ -485,6 +495,8 @@ class ReactorServer:
         self.socket_source.deregister(conn.handle)
         if self.reaper is not None:
             self.reaper.unwatch(conn.handle)
+        if self.deadlines is not None:
+            self.deadlines.unwatch(conn)
         if self.overload is not None:
             self.overload.connection_closed()
 
@@ -574,6 +586,7 @@ class ReactorServer:
             profiler=self.profiler,
             flight=self.flight,
             shedding=self.shedding,
+            accept_batch=self.config.accept_batch,
         )
         self.dispatcher.route(EventKind.ACCEPT, self.acceptor.handle)
         self.acceptor.open()

@@ -240,7 +240,7 @@ class ShardedReactorServer:
         self.flight = FlightRecorder(capacity=config.flight_capacity,
                                      name="accept-plane",
                                      dump_dir=config.flight_dump_dir)
-        self.accept_source = SocketEventSource()
+        self.accept_source = SocketEventSource(poller=config.poller)
         self.accept_dispatcher = EventDispatcher(self.accept_source, threads=1)
         self.listen: Optional[ListenHandle] = None
         self.acceptor: Optional[Acceptor] = None
@@ -320,6 +320,7 @@ class ShardedReactorServer:
             register_accepted=False,
             flight=self.flight,
             shedding=self.shedding,
+            accept_batch=self.config.accept_batch,
         )
         self.accept_dispatcher.route(EventKind.ACCEPT, self.acceptor.handle)
         self.acceptor.open()

@@ -287,6 +287,7 @@ def build_cops_http(
     shards: int = 1,
     write_path: str = "buffered",
     degradation: bool = False,
+    poller: Optional[str] = None,
     **config_overrides,
 ):
     """Generate the COPS-HTTP framework and return a started-able Server.
@@ -306,6 +307,12 @@ def build_cops_http(
     postpone), per-client rate limiting, brownout, and a circuit-broken
     file I/O plane.
 
+    ``poller="epoll"`` regenerates with option O18: the edge-triggered
+    ``select.epoll`` readiness backend with batched accepts;
+    ``poller="select"`` pins the portable level-triggered oracle.
+    ``None`` leaves O18 at whatever ``options`` says (the runtime then
+    picks the platform default, overridable via ``REPRO_POLLER``).
+
     Returns ``(server, framework_module, generation_report)``.
     """
     option_dict = dict(options or COPS_HTTP_OPTIONS)
@@ -318,6 +325,8 @@ def build_cops_http(
         # controller, so the degradation build always has one.
         option_dict["O9"] = True
         option_dict["O17"] = True
+    if poller is not None:
+        option_dict["O18"] = poller
     opts = NSERVER.configure(option_dict)
     dest = dest or tempfile.mkdtemp(prefix="cops_http_")
     report = NSERVER.generate(opts, dest, package=package)
@@ -330,8 +339,7 @@ def build_cops_http(
 
 def main(argv=None) -> int:
     """``python -m repro.servers.cops_http --root DIR [--shards N]``."""
-    import argparse
-    import time
+    import argparse, time
 
     parser = argparse.ArgumentParser(
         prog="cops-http",
@@ -355,18 +363,17 @@ def main(argv=None) -> int:
                         help="response write path (template option O15)")
     parser.add_argument("--degradation", action="store_true",
                         help="generate with O17=Yes (graceful degradation)")
+    parser.add_argument("--poller", choices=("select", "epoll"),
+                        help="readiness backend (template option O18; "
+                             "default: platform pick)")
     args = parser.parse_args(argv)
 
-    option_dict = dict(COPS_HTTP_OPTIONS)
-    if args.observability:
-        option_dict["O11"] = True
-    overrides = {}
-    if args.shards != 1:
-        overrides["shard_policy"] = args.policy
+    option_dict = dict(COPS_HTTP_OPTIONS, O11=args.observability)
+    overrides = {"shard_policy": args.policy} if args.shards != 1 else {}
     server, _fw, _report = build_cops_http(
         args.root, options=option_dict, host=args.host, port=args.port,
         shards=args.shards, write_path=args.write_path,
-        degradation=args.degradation, **overrides)
+        degradation=args.degradation, poller=args.poller, **overrides)
     server.start()
     shape = (f"{args.shards} shards ({args.policy})"
              if args.shards != 1 else "single reactor")
@@ -374,14 +381,14 @@ def main(argv=None) -> int:
         shape += f", {args.write_path} write path"
     if args.degradation:
         shape += ", graceful degradation"
+    if args.poller:
+        shape += f", {args.poller} poller"
     print(f"COPS-HTTP serving {args.root} on "
           f"{args.host}:{server.port} — {shape}", flush=True)
     try:
         while True:
             time.sleep(1.0)
     except KeyboardInterrupt:
-        pass
-    finally:
         server.stop()
     return 0
 

@@ -37,12 +37,13 @@ from repro.co2p3s.nserver import (
 # -- Table 1: the option model -------------------------------------------------
 
 
-def test_sixteen_options():
+def test_seventeen_options():
     # The paper's twelve plus the O13 fault-tolerance, O14
-    # reactor-shards, O15 write-path and O17 degradation extensions
-    # (there is no O16).
+    # reactor-shards, O15 write-path, O17 degradation and O18 poller
+    # extensions (there is no O16).
     specs = NSERVER.option_specs()
-    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 16)] + ["O17"]
+    assert [s.key for s in specs] == \
+        [f"O{i}" for i in range(1, 16)] + ["O17", "O18"]
 
 
 def test_paper_configurations_are_legal():
@@ -74,7 +75,7 @@ def test_cops_http_column_matches_table1():
 
 def test_option_table_rows_shape():
     rows = option_table_rows(COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS)
-    assert len(rows) == 16
+    assert len(rows) == 17
     assert all(len(r) == 4 for r in rows)
     o6 = next(r for r in rows if r[0].startswith("O6"))
     assert o6[2] == "No" and o6[3] == "Yes: LRU"
@@ -112,12 +113,12 @@ def test_all_files_parse_for_paper_configs():
             ast.parse(text)
 
 
-def test_full_config_generates_all_32_classes():
+def test_full_config_generates_all_33_classes():
     report = render(ALL_FEATURES_ON)
     assert set(report.class_names()) == set(TABLE2_CLASS_ORDER)
     # paper's 27 + Observability (O11) + Resilience (O13) + Sharding (O14)
-    # + Buffers (O15) + Degradation (O17)
-    assert len(TABLE2_CLASS_ORDER) == 32
+    # + Buffers (O15) + Degradation (O17) + Poller (O18)
+    assert len(TABLE2_CLASS_ORDER) == 33
 
 
 def test_optional_classes_absent_when_options_off():

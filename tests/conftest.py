@@ -30,6 +30,29 @@ def fake_clock():
     return FakeClock()
 
 
+def _poller_params():
+    from repro.runtime import available_pollers
+    have = available_pollers()
+    return [
+        pytest.param(name, marks=() if name in have else pytest.mark.skip(
+            reason=f"{name} poller unavailable on this platform"))
+        for name in ("select", "epoll")
+    ]
+
+
+@pytest.fixture(params=_poller_params())
+def poller_backend(request, monkeypatch):
+    """Parametrize a test over both readiness backends (O18 plane).
+
+    Sets ``REPRO_POLLER`` so every ``SocketEventSource`` built while the
+    test runs — including ones inside generated frameworks — picks the
+    requested backend.  The ``epoll`` parameter is skipped on platforms
+    without ``select.epoll``; ``select`` always runs and is the oracle.
+    """
+    monkeypatch.setenv("REPRO_POLLER", request.param)
+    return request.param
+
+
 @pytest.fixture(autouse=True)
 def race_detector():
     """Ambient Eraser lockset detector, gated on ``REPRO_RACE_DETECTOR``.

@@ -29,8 +29,9 @@ from repro.experiments import (
 def test_table1_rows_and_formatting():
     rows = run_table1()
     # The paper's 12 options plus the O13 fault-tolerance, O14
-    # reactor-shards, O15 write-path and O17 degradation extensions.
-    assert len(rows) == 16
+    # reactor-shards, O15 write-path, O17 degradation and O18 poller
+    # extensions.
+    assert len(rows) == 17
     assert rows[12][0] == "O13: Fault tolerance"
     assert rows[12][2:] == ["No", "No"]     # both paper apps: off
     assert rows[13][0] == "O14: Reactor shards"
@@ -39,6 +40,8 @@ def test_table1_rows_and_formatting():
     assert rows[14][2:] == ["buffered", "buffered"]  # the paper's path
     assert rows[15][0] == "O17: Degradation policy"
     assert rows[15][2:] == ["No", "No"]     # both paper apps: off
+    assert rows[16][0] == "O18: Poller"
+    assert rows[16][2:] == ["select", "select"]  # the paper's readiness model
     text = format_table1(rows)
     assert "COPS-FTP" in text and "Yes: LRU" in text
 

@@ -45,8 +45,14 @@ def test_quick_fig3_zerocopy(capsys):
     assert "O15 extension" in out and "ZERO-COPY" in out
 
 
+def test_quick_fig3_poller(capsys):
+    assert main(["fig3-poller", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "O18 extension" in out and "SELECT vs EPOLL" in out
+
+
 def test_all_is_every_experiment():
     assert set(EXPERIMENTS) == {"table1", "table2", "table3", "table4",
                                 "fig3", "fig4", "fig5", "fig6",
                                 "fig3-shards", "fig3-zerocopy",
-                                "fig6-cliff"}
+                                "fig6-cliff", "fig3-poller"}

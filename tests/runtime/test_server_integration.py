@@ -21,6 +21,12 @@ from repro.runtime import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _every_backend(poller_backend):
+    """Run the whole integration suite once per readiness backend
+    (select is the oracle; epoll is the O18 fast path)."""
+
+
 def fixture(hooks, cfg) -> ServerFixture:
     return ServerFixture(ReactorServer(hooks, cfg))
 

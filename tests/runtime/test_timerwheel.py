@@ -1,0 +1,191 @@
+"""Property suite: the hashed timer wheel vs a sorted-list reference.
+
+The wheel (``repro.runtime.timerwheel``) replaced the O(n) scan-based
+timer paths; these tests pin the contract the reaper, the deadline
+monitor and ``TimerEventSource`` rely on, by replaying a random
+schedule/cancel/advance trace against both the wheel and a trivially
+correct sorted-list model:
+
+* **never early** — nothing fires before its deadline;
+* **never lost** — once ``now`` passes a live entry's deadline by a
+  full tick, the next ``advance`` fires it;
+* **cancel idempotent** — cancelling twice, or after the fire, is a
+  no-op and never disturbs other entries;
+* **deterministic order** — a batch fires sorted by (deadline, token).
+"""
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from harness import FakeClock
+from repro.runtime import TimerWheel
+
+TICK = 0.01
+SLOTS = 16  # small ring: traces wrap it many times
+
+
+class SortedListModel:
+    """The obviously correct reference: a flat list, scanned whole."""
+
+    def __init__(self):
+        self.live = {}  # token -> deadline
+
+    def schedule(self, token, deadline):
+        self.live[token] = deadline
+
+    def cancel(self, token):
+        return self.live.pop(token, None) is not None
+
+    def due(self, now):
+        fired = sorted((deadline, token)
+                       for token, deadline in self.live.items()
+                       if deadline <= now)
+        for _, token in fired:
+            del self.live[token]
+        return fired
+
+
+# One trace step: arm a timer, cancel a random earlier token (hitting
+# fired/cancelled/unknown ones on purpose), or advance the clock.
+_steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"),
+                  st.floats(min_value=0.0, max_value=TICK * SLOTS * 3)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=40)),
+        st.tuples(st.just("advance"),
+                  st.floats(min_value=0.0, max_value=TICK * SLOTS * 2)),
+    ),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_steps)
+def test_wheel_matches_sorted_list_model(steps):
+    clock = FakeClock()
+    wheel = TimerWheel(tick=TICK, slots=SLOTS, clock=clock)
+    model = SortedListModel()
+    fired_tokens = set()
+
+    def drain(now):
+        fired = wheel.advance()
+        # never early
+        assert all(deadline <= now for deadline, _, _ in fired)
+        # deterministic batch order
+        assert fired == sorted(fired)
+        for deadline, token, _payload in fired:
+            assert token not in fired_tokens, "double fire"
+            fired_tokens.add(token)
+            assert model.cancel(token), (
+                f"wheel fired {token} the model considers dead")
+        # never lost: anything the model says is overdue by >= one
+        # whole tick must have just fired (sub-tick lateness is the
+        # wheel's documented granularity)
+        overdue = [t for t, d in model.live.items() if d <= now - TICK]
+        assert not overdue, f"lost timers {overdue}"
+
+    for kind, value in steps:
+        if kind == "schedule":
+            token = wheel.schedule(value)
+            model.schedule(token, clock() + value)
+        elif kind == "cancel":
+            cancelled = wheel.cancel(value)
+            assert cancelled == model.cancel(value)
+            # idempotent: the second cancel is always a no-op
+            assert wheel.cancel(value) is False
+        else:
+            clock.advance(value)
+            drain(clock())
+        assert len(wheel) == len(model.live)
+
+    # final drain far in the future must flush every survivor
+    clock.advance(TICK * (SLOTS * 4 + 2))
+    drain(clock())
+    assert len(wheel) == 0 and not model.live
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=0.0, max_value=TICK * SLOTS * 2),
+       st.floats(min_value=0.0, max_value=TICK * SLOTS * 2))
+def test_rearm_is_cancel_plus_schedule(first, second):
+    """The reaper's touch path: cancel + schedule moves the deadline —
+    exactly one fire, at the second deadline, never the first."""
+    clock = FakeClock()
+    wheel = TimerWheel(tick=TICK, slots=SLOTS, clock=clock)
+    token = wheel.schedule(first, "a")
+    wheel.cancel(token)
+    token2 = wheel.schedule(second, "b")
+    clock.advance(first + TICK)
+    early = [p for _, t, p in wheel.advance() if t == token]
+    assert not early, "cancelled arm still fired"
+    clock.advance(max(0.0, second - first) + TICK)
+    fired = wheel.advance()
+    if second <= clock():
+        assert any(t == token2 for _, t, _ in fired) or token2 not in (
+            wheel._where)  # already fired in the first drain
+    assert len(wheel) == 0
+
+
+def test_cancel_after_fire_is_noop():
+    clock = FakeClock()
+    wheel = TimerWheel(tick=TICK, slots=SLOTS, clock=clock)
+    token = wheel.schedule(0.005, "x")
+    clock.advance(0.02)
+    fired = wheel.advance()
+    assert [(t, p) for _, t, p in fired] == [(token, "x")]
+    assert wheel.cancel(token) is False
+    assert wheel.cancel(token) is False
+
+
+def test_next_deadline_is_fire_boundary_not_raw_deadline():
+    """Poll loops sleep until next_deadline(): it must be the tick
+    boundary the entry actually fires at (>= the raw deadline), or the
+    loop wakes, fires nothing, and spins."""
+    clock = FakeClock()
+    wheel = TimerWheel(tick=TICK, slots=SLOTS, clock=clock)
+    wheel.schedule(0.0151, "x")
+    boundary = wheel.next_deadline()
+    assert boundary is not None and boundary >= 0.0151
+    clock.advance(boundary - clock())
+    assert [p for _, _, p in wheel.advance()] == ["x"]
+    assert wheel.next_deadline() is None
+
+
+def test_concurrent_rearm_under_threads():
+    """The reaper re-arms from the dispatcher thread while its own
+    sweep thread advances: no lost, no double fires, no exceptions.
+    (With REPRO_RACE_DETECTOR=1 the ambient fixture also watches the
+    lockset discipline.)"""
+    wheel = TimerWheel(tick=0.0005, slots=32)
+    fired = []
+    fired_lock = threading.Lock()
+    stop = threading.Event()
+
+    def advancer():
+        while not stop.is_set():
+            batch = wheel.advance()
+            with fired_lock:
+                fired.extend(token for _, token, _ in batch)
+
+    def rearmer(worker):
+        token = None
+        for _ in range(300):
+            if token is not None:
+                wheel.cancel(token)
+            token = wheel.schedule(0.0003, worker)
+        if token is not None:
+            wheel.cancel(token)
+
+    threads = [threading.Thread(target=advancer)] + [
+        threading.Thread(target=rearmer, args=(i,)) for i in range(4)]
+    for t in threads[1:]:
+        t.start()
+    threads[0].start()
+    for t in threads[1:]:
+        t.join(timeout=10)
+    stop.set()
+    threads[0].join(timeout=10)
+    leftovers = wheel.advance()
+    with fired_lock:
+        assert len(fired) == len(set(fired)), "double fire"
+    assert len(wheel) == 0 or not leftovers
