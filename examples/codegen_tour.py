@@ -12,7 +12,8 @@ import difflib
 
 from repro.co2p3s.crosscut import empirical_matrix, format_matrix
 from repro.co2p3s.nserver import (ALL_FEATURES_ON, DEGRADATION_TOGGLE_BASE,
-                                  NSERVER, POOL_TOGGLE_BASE)
+                                  DEPLOYMENT_TOGGLE_BASE, NSERVER,
+                                  POOL_TOGGLE_BASE)
 
 
 def main() -> None:
@@ -44,7 +45,8 @@ def main() -> None:
     print()
     matrix = empirical_matrix(NSERVER, ALL_FEATURES_ON,
                               extra_bases=(POOL_TOGGLE_BASE,
-                                           DEGRADATION_TOGGLE_BASE))
+                                           DEGRADATION_TOGGLE_BASE,
+                                           DEPLOYMENT_TOGGLE_BASE))
     print(format_matrix(matrix, title="Empirical crosscut matrix (Table 2):"))
 
 

@@ -112,6 +112,14 @@ def _derived_shards(benchmarks: Sequence[Mapping]) -> Dict[str, float]:
     return {}
 
 
+def _derived_procs(benchmarks: Sequence[Mapping]) -> Dict[str, float]:
+    """4-worker-process speedup over 1 on the same host and workload."""
+    means = _group_means(benchmarks, "procs")
+    if 1 in means and 4 in means and means[4] > 0:
+        return {"procs_speedup_4v1": means[1] / means[4]}
+    return {}
+
+
 def _derived_zero_copy(benchmarks: Sequence[Mapping]) -> Dict[str, float]:
     """Zero-copy write-path speedup over the buffered path."""
     means = _group_means(benchmarks, "write_path")
@@ -180,6 +188,11 @@ SUITES: Dict[str, Suite] = {
               options={"O14": (1, 4)},
               derive=_derived_shards,
               smoke_deselect=("test_shard_scaling_simulated",)),
+        Suite(name="procs",
+              file="bench_procs.py",
+              options={"O16": (1, 4)},
+              derive=_derived_procs,
+              smoke_deselect=("test_procs_scaling_cpu_bound",)),
         Suite(name="zero_copy",
               file="bench_zero_copy.py",
               options={"O15": ("buffered", "zerocopy")},

@@ -32,6 +32,7 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     dynamic = o["O5"] == "Dynamic"
     resilient = bool(o["O13"])
     sharded = int(o["O14"]) > 1
+    multiproc = int(o["O16"]) > 1
     zerocopy = o["O15"] == "zerocopy"
     degradation = bool(o["O17"])
     epoll = o["O18"] == "epoll"
@@ -420,8 +421,15 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
         "if open_listener: self.server_component.open()" if sharded
         else "self.server_component.open()")
     ctx["server_component_init_params"] = ", listen=True" if sharded else ""
-    listen_expr = ("rt.ListenHandle(configuration.host, configuration.port, "
-                   "configuration.backlog, handle_cls=Handle)")
+    # At O16>1 the server component runs inside a worker process and
+    # adopts the supervisor's shared SO_REUSEPORT socket instead of
+    # binding its own (a worker build run outside a supervisor still
+    # binds, with SO_REUSEPORT, so the generated package stands alone).
+    listen_expr = (
+        "rt.worker_listen_handle(configuration, handle_cls=Handle)"
+        if multiproc else
+        "rt.ListenHandle(configuration.host, configuration.port, "
+        "configuration.backlog, handle_cls=Handle)")
     ctx["server_component_listen_expr"] = (
         f"({listen_expr} if listen else None)" if sharded else listen_expr)
     ctx["close_idempotent_guard"] = (
@@ -430,16 +438,20 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     ctx["arm_idle_timer"] = ctx["server_open_idle_timer"]
     ctx["arm_obs_timer"] = ctx["server_open_obs_timer"]
     ctx["server_make_reactor"] = (
-        "self.sharding = Sharding(configuration, hooks)" if sharded
+        "self.deployment = Deployment(configuration, hooks)" if multiproc
+        else "self.sharding = Sharding(configuration, hooks)" if sharded
         else "self.reactor = Reactor(configuration, hooks)")
     ctx["server_bind_primary"] = on(
-        sharded, "self.reactor = self.sharding.primary")
-    ctx["server_start_call"] = ("self.sharding.start()" if sharded
+        sharded and not multiproc, "self.reactor = self.sharding.primary")
+    ctx["server_start_call"] = ("self.deployment.start()" if multiproc
+                                else "self.sharding.start()" if sharded
                                 else "self.reactor.start()")
-    ctx["server_stop_call"] = ("self.sharding.stop()" if sharded
+    ctx["server_stop_call"] = ("self.deployment.stop()" if multiproc
+                               else "self.sharding.stop()" if sharded
                                else "self.reactor.stop()")
     ctx["server_drain_call"] = (
-        "return self.sharding.drain(timeout)" if sharded
+        "return self.deployment.drain(timeout)" if multiproc
+        else "return self.sharding.drain(timeout)" if sharded
         else "return self.reactor.drain(timeout)")
     ctx["shard_accept_gate"] = on(
         overload,
@@ -459,5 +471,25 @@ def build_context(o: OptionSet) -> Dict[str, Any]:
     ctx["shard_log_drain"] = on(
         logging, 'self.primary.log.info(f"draining {len(self.shards)} '
                  'shards (timeout={timeout}s)")')
+
+    # -- deployment module (O16) --------------------------------------------
+    ctx["proc_count"] = str(int(o["O16"]))
+    ctx["server_port_expr"] = (
+        "self.deployment.port" if multiproc
+        else "self.reactor.server_component.port")
+    # The supervisor process runs no reactor, so outbound connections
+    # can only be opened from hooks inside the worker processes.
+    ctx["server_connect_body"] = (
+        'raise RuntimeError("connect() needs an in-process reactor; '
+        "at O16>1 open outbound connections from hooks inside the "
+        'worker processes")'
+        if multiproc else
+        "return self.reactor.client_component.connect(client_configuration)")
+    ctx["worker_make_server"] = (
+        "self.server = Sharding(configuration, hooks)" if sharded
+        else "self.server = Reactor(configuration, hooks)")
+    ctx["worker_port_expr"] = (
+        "self.server.primary.server_component.port" if sharded
+        else "self.server.server_component.port")
 
     return ctx

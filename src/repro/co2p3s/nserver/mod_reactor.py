@@ -8,8 +8,10 @@ Reactor   body depends on O1 O2 O4 O5 O6 O8 O9 O10 O11 O12 O13 O14
           handlers module's ``install_step_handlers``; NOT O7 — idle
           wiring lives in ServerComponent / ServerEventHandler /
           Container)
-Server    body depends on O3, O13 (the ``drain`` facade method) and
-          O14 (delegation to the Sharding component)
+Server    body depends on O3, O13 (the ``drain`` facade method), O14
+          (delegation to the Sharding component) and O16 (delegation
+          to the Deployment component, plus the ``rolling_restart``
+          facade)
 ========  =========================================================
 """
 
@@ -42,6 +44,10 @@ def _sync(o):
 
 def _sharded(o):
     return int(o["O14"]) > 1
+
+
+def _multiproc(o):
+    return int(o["O16"]) > 1
 
 
 def _zerocopy(o):
@@ -343,9 +349,13 @@ MODULE_SERVER = ModuleSpec(
     imports=[
         Fragment("from $package.communication import ServerConfiguration"),
         Fragment("from $package.reactor import Reactor",
-                 guard=lambda o: not _sharded(o), options=("O14",)),
+                 guard=lambda o: not _sharded(o) and not _multiproc(o),
+                 options=("O14", "O16")),
         Fragment("from $package.sharding import Sharding",
-                 guard=_sharded, options=("O14",)),
+                 guard=lambda o: _sharded(o) and not _multiproc(o),
+                 options=("O14", "O16")),
+        Fragment("from $package.deployment import Deployment",
+                 guard=_multiproc, options=("O16",)),
     ],
     classes=[
         ClassSpec(
@@ -373,7 +383,7 @@ MODULE_SERVER = ModuleSpec(
 
                     @property
                     def port(self):
-                        return self.reactor.server_component.port
+                        return $server_port_expr
 
                     def start(self):
                         $server_start_call
@@ -383,7 +393,7 @@ MODULE_SERVER = ModuleSpec(
 
                     def connect(self, client_configuration):
                         """Open an outbound connection through the framework."""
-                        return self.reactor.client_component.connect(client_configuration)
+                        $server_connect_body
 
                     def __enter__(self):
                         self.start()
@@ -392,7 +402,7 @@ MODULE_SERVER = ModuleSpec(
                     def __exit__(self, *exc_info):
                         self.stop()
                     ''',
-                    options=("O14",),
+                    options=("O14", "O16"),
                 ),
                 Fragment(
                     '''
@@ -400,7 +410,18 @@ MODULE_SERVER = ModuleSpec(
                         """Gracefully drain in-flight work, then stop."""
                         $server_drain_call
                     ''',
-                    guard=_o("O13"), options=("O13", "O14"),
+                    guard=_o("O13"), options=("O13", "O14", "O16"),
+                ),
+                Fragment(
+                    '''
+                    def rolling_restart(self, drain_timeout=None):
+                        """Replace every worker process with a fresh one,
+                        zero downtime (option O16): each successor
+                        accepts on the shared socket before its
+                        predecessor drains."""
+                        self.deployment.rolling_restart(drain_timeout)
+                    ''',
+                    guard=_multiproc, options=("O16",),
                 ),
             ],
         ),

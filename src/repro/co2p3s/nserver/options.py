@@ -28,6 +28,7 @@ __all__ = [
     "ALL_FEATURES_ON",
     "POOL_TOGGLE_BASE",
     "DEGRADATION_TOGGLE_BASE",
+    "DEPLOYMENT_TOGGLE_BASE",
     "option_table_rows",
 ]
 
@@ -94,6 +95,15 @@ NSERVER_OPTION_SPECS = (
     OptionSpec(key="O15", name="Write path",
                describe_values="buffered/zerocopy", default="buffered",
                values=("buffered", "zerocopy")),
+    # Sixth structural extension: multi-process deployment — N worker
+    # processes (each a fresh interpreter running its own, possibly
+    # O14-sharded, reactor) accepting from one shared SO_REUSEPORT
+    # listening socket under a ProcessSupervisor with crash respawn
+    # and SIGHUP rolling restarts.  O16=1 is the paper's
+    # single-process shape and emits zero deployment code.
+    OptionSpec(key="O16", name="Deployment (worker processes)",
+               describe_values="1, 2, 4 or 8", default=1,
+               values=(1, 2, 4, 8)),
     # Fourth structural extension: the graceful-degradation plane.
     # O17=Yes upgrades O9's silent accept/postpone latch to explicit
     # prioritized decisions — per-client rate limiting, cheap 503 +
@@ -209,6 +219,7 @@ ALL_FEATURES_ON: Dict[str, object] = {
     "O13": True,
     "O14": 2,
     "O15": "zerocopy",
+    "O16": 2,
     "O17": True,
     "O18": "epoll",
 }
@@ -229,6 +240,14 @@ POOL_TOGGLE_BASE: Dict[str, object] = dict(
 #: because O17=Yes depends on it).
 DEGRADATION_TOGGLE_BASE: Dict[str, object] = dict(
     ALL_FEATURES_ON, O17=False)
+
+#: Fourth crosscut base: with a single worker process (O16=1) the
+#: in-process Server facade becomes observable again — at O16>1 the
+#: Server delegates every call to the Deployment component for *every*
+#: O14 value, which would hide the Server x O14 cell from the primary
+#: base.
+DEPLOYMENT_TOGGLE_BASE: Dict[str, object] = dict(
+    ALL_FEATURES_ON, O16=1)
 
 
 def _show(value) -> str:

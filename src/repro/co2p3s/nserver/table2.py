@@ -52,6 +52,8 @@ TABLE2_CLASS_ORDER = [
     "Buffers",
     "Degradation",
     "Poller",
+    "Deployment",
+    "Worker",
 ]
 
 PAPER_TABLE2 = {
@@ -130,16 +132,28 @@ PAPER_TABLE2 = {
 #: component and hands its backend to the socket event source, the
 #: accept loops bound their drain and re-post early-stopped
 #: listeners, and the configuration carries the batch knob.
+#: The O16 multi-process deployment extension adds the Deployment row
+#: (exists iff O16>1; body depends on O11 — cluster-wide aggregated
+#: status fields — and O13, the cross-process drain barrier) and the
+#: Worker row (exists iff O16>1; body depends on O14 — each worker
+#: process runs a single Reactor or a Sharding fan-out — plus O11 and
+#: O13), and '+' cells where the option weaves in: the Server facade
+#: delegates to the Deployment component (and gains the
+#: rolling-restart facade), the Server Component adopts the shared
+#: SO_REUSEPORT listen socket, the configuration carries the worker
+#: deadlines and respawn budget, and the Observability status report
+#: aggregates across worker processes through the stats socket.
 TABLE2_EXTENSIONS = {
     "Observability": {"O2": "+", "O6": "+", "O9": "+", "O10": "+",
-                      "O11": "O", "O14": "+", "O15": "+", "O17": "+"},
-    "ServerComponent": {"O11": "+", "O14": "+", "O15": "+"},
+                      "O11": "O", "O14": "+", "O15": "+", "O16": "+",
+                      "O17": "+"},
+    "ServerComponent": {"O11": "+", "O14": "+", "O15": "+", "O16": "+"},
     "ServerConfiguration": {"O11": "+", "O13": "+", "O14": "+", "O15": "+",
-                            "O17": "+", "O18": "+"},
+                            "O16": "+", "O17": "+", "O18": "+"},
     "Resilience": {"O2": "+", "O11": "+", "O12": "+", "O13": "O"},
     "Reactor": {"O13": "+", "O14": "+", "O15": "+", "O17": "+", "O18": "+"},
     "AcceptorEventHandler": {"O13": "+", "O17": "+", "O18": "+"},
-    "Server": {"O13": "+", "O14": "+"},
+    "Server": {"O13": "+", "O14": "+", "O16": "+"},
     "EventDispatcher": {"O14": "+"},
     "Sharding": {"O9": "+", "O11": "+", "O12": "+", "O13": "+",
                  "O14": "O", "O17": "+"},
@@ -147,6 +161,8 @@ TABLE2_EXTENSIONS = {
     "Buffers": {"O15": "O"},
     "Degradation": {"O11": "+", "O12": "+", "O17": "O"},
     "Poller": {"O18": "O"},
+    "Deployment": {"O11": "+", "O13": "+", "O16": "O"},
+    "Worker": {"O11": "+", "O13": "+", "O14": "+", "O16": "O"},
 }
 
 

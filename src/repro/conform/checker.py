@@ -155,6 +155,9 @@ def corner_matrix(which: str = "smoke") -> List[Corner]:
                options=dict(COPS_HTTP_OPTIONS, O9=True)),
         Corner("sharded", "O14=4 reactor shards behind one accept plane",
                build={"shards": 4}),
+        Corner("procs", "O16=2 worker processes on one SO_REUSEPORT "
+               "socket; each must be conversation-identical to the "
+               "single-process build", build={"procs": 2}),
         Corner("zerocopy", "O15 scatter-gather write path",
                build={"write_path": "zerocopy"}),
         Corner("degradation", "O9+O11+O17 graceful degradation, quiet",

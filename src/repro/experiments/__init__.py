@@ -24,6 +24,12 @@ from repro.experiments.fig3_poller import (
     format_fig3_poller,
     run_poller_sweep,
 )
+from repro.experiments.fig3_procs import (
+    CpuBoundHooks,
+    ProcsPoint,
+    format_fig3_procs,
+    run_procs_sweep,
+)
 from repro.experiments.fig3_zerocopy import (
     WritePathPoint,
     format_fig3_zerocopy,
@@ -46,10 +52,14 @@ __all__ = [
     "goodput_retention",
     "run_degradation_cliff",
     "tune_watermark",
+    "CpuBoundHooks",
+    "ProcsPoint",
     "format_fig3",
     "format_fig3_poller",
+    "format_fig3_procs",
     "format_fig3_shards",
     "format_fig3_zerocopy",
+    "run_procs_sweep",
     "format_fig4",
     "format_fig5",
     "format_fig6",

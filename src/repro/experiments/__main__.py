@@ -18,6 +18,7 @@ from repro.experiments import (
     format_degradation_cliff,
     format_fig3,
     format_fig3_poller,
+    format_fig3_procs,
     format_fig3_shards,
     format_fig3_zerocopy,
     format_fig4,
@@ -32,6 +33,7 @@ from repro.experiments import (
     run_fig5,
     run_fig6,
     run_poller_sweep,
+    run_procs_sweep,
     run_shard_sweep,
     run_table1,
     run_table2,
@@ -42,7 +44,8 @@ from repro.experiments import (
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4",
                "fig3", "fig4", "fig5", "fig6", "fig3-shards",
-               "fig3-zerocopy", "fig3-poller", "fig6-cliff")
+               "fig3-zerocopy", "fig3-poller", "fig3-procs",
+               "fig6-cliff")
 
 
 def run_one(name: str, quick: bool, cache: dict) -> str:
@@ -81,6 +84,11 @@ def run_one(name: str, quick: bool, cache: dict) -> str:
             idle_counts=(0, 256) if quick else (0, 512, 2048),
             requests=120 if quick else 300)
         return format_fig3_poller(results)
+    if name == "fig3-procs":
+        results = run_procs_sweep(
+            proc_counts=(1, 2) if quick else (1, 2, 4),
+            requests=96 if quick else 256)
+        return format_fig3_procs(results)
     if name == "fig5":
         points, portal_only = run_fig5(
             ratios=((1, 1), (1, 4)) if quick else ((1, 1), (1, 2), (1, 4), (1, 10)),

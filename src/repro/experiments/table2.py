@@ -20,6 +20,7 @@ from repro.co2p3s.crosscut import (
 from repro.co2p3s.nserver import (
     ALL_FEATURES_ON,
     DEGRADATION_TOGGLE_BASE,
+    DEPLOYMENT_TOGGLE_BASE,
     EXPECTED_TABLE2,
     NSERVER,
     NSERVER_OPTION_SPECS,
@@ -75,7 +76,8 @@ class Table2Result:
 def run_table2() -> Table2Result:
     emp = empirical_matrix(NSERVER, ALL_FEATURES_ON,
                            extra_bases=(POOL_TOGGLE_BASE,
-                                        DEGRADATION_TOGGLE_BASE))
+                                        DEGRADATION_TOGGLE_BASE,
+                                        DEPLOYMENT_TOGGLE_BASE))
     dec = declared_matrix(NSERVER, ALL_FEATURES_ON)
     return Table2Result(
         empirical=emp,

@@ -3,7 +3,7 @@
 Subcommands:
 
 * *(none)* / ``check`` — the CI gate: blocking-call lint over the
-  shipped tree, the generated-code audit sweep (all 15 options), the
+  shipped tree, the generated-code audit sweep (all 18 options), the
   Table 2 crosscut three-way check, and the docstring ratchet.  Exits
   1 when any finding survives the baseline.
 * ``blocking [PATH...]`` — the reactor lint alone, optionally over
@@ -37,7 +37,7 @@ from repro.lint.docstrings import coverage_findings
 from repro.lint.spans import span_findings
 
 #: the default docstring ratchet; raise when coverage grows
-DOCSTRING_RATCHET = 60.0
+DOCSTRING_RATCHET = 70.0
 
 
 def _src_root() -> str:

@@ -21,9 +21,9 @@ configuration:
    match the template's declared fragment metadata and the checked-in
    :data:`~repro.co2p3s.nserver.table2.EXPECTED_TABLE2`.
 
-:func:`audit_suite` sweeps a configuration set that exercises all 17
+:func:`audit_suite` sweeps a configuration set that exercises all 18
 options: the shipped presets plus every single-option toggle from the
-three crosscut bases.
+four crosscut bases.
 """
 
 from __future__ import annotations
@@ -48,6 +48,7 @@ from repro.co2p3s.nserver.options import (
     COPS_HTTP_SHARDED_OPTIONS,
     COPS_HTTP_ZEROCOPY_OPTIONS,
     DEGRADATION_TOGGLE_BASE,
+    DEPLOYMENT_TOGGLE_BASE,
     POOL_TOGGLE_BASE,
 )
 from repro.co2p3s.nserver.table2 import EXPECTED_TABLE2
@@ -151,6 +152,20 @@ _O18_FORBIDDEN = re.compile(
     r"|repost_accept|force_ready|accept_batch|TimerWheel|timer.?wheel",
     re.IGNORECASE)
 
+#: multi-process deployment vocabulary that must not survive into an
+#: O16=1 build: the process supervisor, worker-socket adoption, rolling
+#: restarts, the respawn budget and the cross-process stats plane all
+#: belong to the deployment tentpole, whose generated call sites exist
+#: only when O16>1.  (The bare word "supervisor" would false-positive
+#: on O13's in-process WorkerSupervisor prose, and bare "worker" on the
+#: Event Processor's worker threads, hence the targeted forms.)
+_O16_FORBIDDEN = re.compile(
+    r"ProcessSupervisor|generated_worker|worker_listen|rolling_restart"
+    r"|cluster_status|adopted_listen|in_worker_process|multi.?process"
+    r"|\bprocs\b|worker_ready_timeout|worker_drain_timeout|respawn"
+    r"|\bdeployment\b|stats.?socket|REUSEPORT",
+    re.IGNORECASE)
+
 
 def _option_value(options, key: str, default):
     """Exception-safe option lookup: audit callers may pass a full
@@ -177,6 +192,8 @@ def audit_report(report, label: str,
     emitted = set(report.class_names())
     absent = class_universe() - emitted
     check_o11 = options is not None and not options["O11"]
+    check_o16 = (options is not None
+                 and int(_option_value(options, "O16", 2)) == 1)
     check_o17 = options is not None and not _option_value(options, "O17", True)
     check_o18 = (options is not None
                  and _option_value(options, "O18", "epoll") == "select")
@@ -191,6 +208,16 @@ def audit_report(report, label: str,
                     location=where,
                     message=(f"O11=No build mentions {match.group(0)!r} — "
                              f"disabled observability left residue"),
+                ))
+        if check_o16 and filename != "__init__.py":
+            match = _O16_FORBIDDEN.search(text)
+            if match is not None:
+                findings.append(Finding(
+                    kind="audit",
+                    ident=f"audit:o16-purity:{filename}",
+                    location=where,
+                    message=(f"O16=1 build mentions {match.group(0)!r} — "
+                             f"disabled deployment plane left residue"),
                 ))
         if check_o17 and filename != "__init__.py":
             match = _O17_FORBIDDEN.search(text)
@@ -310,11 +337,11 @@ def audit_config(options: Mapping[str, object], label: str,
 
 
 def suite_configs() -> List[Tuple[str, Dict[str, object]]]:
-    """(label, options) pairs exercising every one of the 17 options.
+    """(label, options) pairs exercising every one of the 18 options.
 
     The shipped presets cover the paper's configurations; on top, each
     option is toggled through each of its non-base legal values from
-    the three crosscut bases, skipping combinations the template's own
+    the four crosscut bases, skipping combinations the template's own
     constraints reject.
     """
     configs: List[Tuple[str, Dict[str, object]]] = [
@@ -327,11 +354,13 @@ def suite_configs() -> List[Tuple[str, Dict[str, object]]]:
         ("all-features-on", dict(ALL_FEATURES_ON)),
         ("pool-toggle-base", dict(POOL_TOGGLE_BASE)),
         ("degradation-toggle-base", dict(DEGRADATION_TOGGLE_BASE)),
+        ("deployment-toggle-base", dict(DEPLOYMENT_TOGGLE_BASE)),
     ]
     seen = {tuple(sorted(c.items())) for _l, c in configs}
     for base_label, base in (("all-on", ALL_FEATURES_ON),
                              ("pool-base", POOL_TOGGLE_BASE),
-                             ("degradation-base", DEGRADATION_TOGGLE_BASE)):
+                             ("degradation-base", DEGRADATION_TOGGLE_BASE),
+                             ("deployment-base", DEPLOYMENT_TOGGLE_BASE)):
         base_opts = NSERVER.configure(base)
         for spec in base_opts.specs:
             for value in spec.values or ():
@@ -377,7 +406,8 @@ def crosscut_findings() -> List[Finding]:
     findings: List[Finding] = []
     derived = empirical_matrix(NSERVER, ALL_FEATURES_ON,
                                extra_bases=(POOL_TOGGLE_BASE,
-                                            DEGRADATION_TOGGLE_BASE),
+                                            DEGRADATION_TOGGLE_BASE,
+                                            DEPLOYMENT_TOGGLE_BASE),
                                canon=_ast_canon)
     declared = declared_matrix(NSERVER, ALL_FEATURES_ON)
     for name, key, derived_cell, declared_cell in derived.differences(declared):

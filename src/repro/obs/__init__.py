@@ -28,6 +28,7 @@ the generated frameworks' ``Observability`` component wires the rest.
 """
 
 from repro.obs.exposition import (
+    clustered_status_fields,
     render_prometheus,
     render_status_auto,
     render_status_html,
@@ -98,6 +99,7 @@ __all__ = [
     "RingExporter",
     "Span",
     "SpanRecorder",
+    "clustered_status_fields",
     "dump_all",
     "format_trace_id",
     "install_signal_dump",

@@ -26,6 +26,7 @@ __all__ = [
     "render_prometheus",
     "status_fields",
     "sharded_status_fields",
+    "clustered_status_fields",
     "render_status_auto",
     "render_status_html",
 ]
@@ -237,6 +238,101 @@ def sharded_status_fields(registries, uptime: Optional[float] = None
                 continue
             fields.append((_shard_key(key, index), value))
     return fields
+
+
+def _worker_key(key: str, label: object) -> str:
+    """Weave a ``worker="pid"`` label into a status-field key.
+
+    Composes with shard labels: a key that already carries
+    ``{shard="i"}`` gains the worker label inside the same brace pair.
+    """
+    extra = f'worker="{label}"'
+    if "{" in key:
+        close = key.index("}")
+        return key[:close] + "," + extra + key[close:]
+    for suffix in ("-count", "-p50", "-p90", "-p99"):
+        if key.endswith(suffix):
+            return key[:-len(suffix)] + "{" + extra + "}" + suffix
+    return key + "{" + extra + "}"
+
+
+def _parse_field(value: str) -> Optional[float]:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return None
+    return number if math.isfinite(number) else None
+
+
+def clustered_status_fields(sections, uptime: Optional[float] = None
+                            ) -> List[Tuple[str, str]]:
+    """One status report over N per-worker status-field lists.
+
+    The multi-process (O16>1) sibling of :func:`sharded_status_fields`.
+    Workers live in other processes, so the inputs are not registries
+    but the ``(key, value)`` field lists each worker already rendered —
+    the shape that travels over the supervisor's stats channel as JSON.
+    ``sections`` is a sequence of ``(label, fields)`` pairs where
+    ``label`` is the worker's identity (its PID) and ``fields`` the
+    worker's own :func:`status_fields` output.
+
+    Layout mirrors the sharded report: the aggregate section first —
+    scalars summed across workers (rates averaged), Apache-derived
+    fields recomputed over the sums — then a ``Workers`` count, then
+    every worker's own fields re-labelled with ``worker="pid"``.  Each
+    worker's fields appear exactly once; quantile estimates are not
+    summable so they appear only in the per-worker sections.
+    """
+    sums: dict = {}
+    counts: dict = {}
+    order: List[str] = []
+    for _label, fields in sections:
+        for key, value in fields:
+            if key in _DERIVED_KEYS or key[-4:] in ("-p50", "-p90", "-p99"):
+                continue
+            number = _parse_field(value)
+            if number is None:
+                continue
+            if key not in sums:
+                sums[key] = 0.0
+                counts[key] = 0
+                order.append(key)
+            sums[key] += number
+            counts[key] += 1
+
+    def aggregate(key: str) -> float:
+        # hit *rates* do not add up across workers; everything else does
+        if "rate" in key:
+            return sums[key] / max(counts[key], 1)
+        return sums[key]
+
+    by_name = {key: aggregate(key) for key in order
+               if "{" not in key and not key.endswith("-count")}
+
+    fields_out: List[Tuple[str, str]] = []
+    if uptime is not None:
+        fields_out.append(("Uptime", f"{uptime:.3f}"))
+    for name, apache_key in _APACHE_FIELDS:
+        if name in by_name:
+            fields_out.append((apache_key, _fmt(by_name[name])))
+    bytes_sent = by_name.get("server_bytes_sent_total")
+    if bytes_sent is not None:
+        fields_out.append(("Total kBytes", _fmt(int(bytes_sent) // 1024)))
+    requests = by_name.get("server_requests_total")
+    if requests is not None and uptime:
+        fields_out.append(("ReqPerSec", f"{requests / uptime:.3f}"))
+        if bytes_sent is not None:
+            fields_out.append(("BytesPerSec", f"{bytes_sent / uptime:.1f}"))
+    for key in order:
+        fields_out.append((key, _fmt(aggregate(key))))
+
+    fields_out.append(("Workers", str(len(sections))))
+    for label, fields in sections:
+        for key, value in fields:
+            if key in _DERIVED_KEYS:
+                continue
+            fields_out.append((_worker_key(key, label), value))
+    return fields_out
 
 
 def render_status_auto(fields: List[Tuple[str, str]]) -> str:

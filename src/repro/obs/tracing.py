@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 from collections import deque
 from typing import Iterable, List, Optional
 
@@ -48,11 +49,26 @@ __all__ = [
 #: under the GIL, so the accept path takes no lock
 _trace_ids = itertools.count(1)
 
+#: low 48 bits carry the per-process sequence; the top 16 carry the
+#: PID, so ids from different worker processes of one O16 deployment
+#: never collide even though every worker counts from 1
+_SEQUENCE_MASK = (1 << 48) - 1
+
 
 def next_trace_id() -> int:
-    """Allocate the next trace id (monotonic, process-wide, never 0 —
-    0 is the "no trace" sentinel in flight events and spans)."""
-    return next(_trace_ids)
+    """Allocate the next trace id (monotonic within a process, never
+    0 — 0 is the "no trace" sentinel in flight events and spans).
+
+    The top 16 bits carry ``os.getpid() & 0xFFFF`` so that ids are
+    globally unique across the worker processes of a multi-process
+    (O16>1) deployment: each worker is a fresh interpreter whose
+    sequence restarts at 1, and the PID component disambiguates them
+    in aggregated traces and flight dumps.  The sequence occupies the
+    low 48 bits, so the composed id still fits the flight recorder's
+    uint64 slot and :func:`format_trace_id`'s 16 hex digits.
+    """
+    return ((os.getpid() & 0xFFFF) << 48) | (next(_trace_ids)
+                                             & _SEQUENCE_MASK)
 
 
 def format_trace_id(trace_id: int) -> str:

@@ -34,6 +34,17 @@ from repro.runtime.degradation import (
     reject_handle,
     rejection_response,
 )
+from repro.runtime.deployment import (
+    STATS_SOCKET_ENV,
+    ProcessSupervisor,
+    adopted_listen_socket,
+    cluster_status_fields,
+    generated_worker,
+    generated_worker_args,
+    in_worker_process,
+    reactor_worker,
+    worker_listen_handle,
+)
 from repro.runtime.dispatcher import EventDispatcher
 from repro.runtime.event_source import (
     EventSource,
@@ -150,6 +161,7 @@ __all__ = [
     "PENDING",
     "Poller",
     "PooledBuffer",
+    "ProcessSupervisor",
     "ProcessorController",
     "Profiler",
     "QueueEventSource",
@@ -169,6 +181,7 @@ __all__ = [
     "ShedDecision",
     "SheddingPolicy",
     "ShutdownEvent",
+    "STATS_SOCKET_ENV",
     "SocketEventSource",
     "SocketHandle",
     "SojournQueue",
@@ -181,12 +194,19 @@ __all__ = [
     "Watermark",
     "WorkerSupervisor",
     "WritableEvent",
+    "adopted_listen_socket",
     "available_pollers",
+    "cluster_status_fields",
+    "generated_worker",
+    "generated_worker_args",
     "hill_climb",
+    "in_worker_process",
     "is_transient_accept_error",
     "make_poller",
     "make_shard_policy",
+    "reactor_worker",
     "reject_handle",
     "rejection_response",
     "segment_bytes",
+    "worker_listen_handle",
 ]

@@ -190,11 +190,20 @@ class ListenHandle(Handle):
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 backlog: int = 128, handle_cls: type = None):
-        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind((host, port))
-        sock.listen(backlog)
+                 backlog: int = 128, handle_cls: type = None,
+                 sock: socket.socket = None, reuse_port: bool = False):
+        if sock is None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuse_port and hasattr(socket, "SO_REUSEPORT"):
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((host, port))
+            sock.listen(backlog)
+        else:
+            # Adopt an already-bound, already-listening socket — the
+            # multi-process (O16) path, where the supervisor binds one
+            # SO_REUSEPORT socket and passes its fd to every worker.
+            sock.listen(backlog)
         sock.setblocking(False)
         self.sock = sock
         self.backlog = backlog

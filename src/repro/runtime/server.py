@@ -148,13 +148,18 @@ class ReactorServer:
 
     def __init__(self, hooks: ServerHooks, config: RuntimeConfig,
                  host: str = "127.0.0.1", port: int = 0,
-                 handle_cls: Optional[type] = None):
+                 handle_cls: Optional[type] = None,
+                 listen_sock=None):
         self.hooks = hooks
         self.config = config
         self.host = host
         #: SocketHandle subclass wrapping accepted sockets (the fault
         #: plane injects its faulty handles here)
         self.handle_cls = handle_cls
+        #: already-bound listening socket to adopt instead of binding
+        #: (the O16 multi-process path: each worker process receives
+        #: the supervisor's shared SO_REUSEPORT socket over fd passing)
+        self.listen_sock = listen_sock
         self._requested_port = port
         self._started = False
         self._lock = threading.Lock()
@@ -577,7 +582,8 @@ class ReactorServer:
         :class:`~repro.runtime.sharding.ShardedReactorServer` overrides
         this to a no-op: the shared accept plane feeds it connections."""
         self.listen = ListenHandle(self.host, self._requested_port,
-                                   handle_cls=self.handle_cls)
+                                   handle_cls=self.handle_cls,
+                                   sock=self.listen_sock)
         self.acceptor = Acceptor(
             self.listen,
             self.socket_source,

@@ -285,6 +285,7 @@ def build_cops_http(
     host: str = "127.0.0.1",
     port: int = 0,
     shards: int = 1,
+    procs: int = 1,
     write_path: str = "buffered",
     degradation: bool = False,
     poller: Optional[str] = None,
@@ -297,6 +298,14 @@ def build_cops_http(
     with its own event sources, Event Processor pool and scheduler
     queue.  Pass ``shard_policy=...`` as a config override to pick the
     connection-placement policy.
+
+    ``procs`` > 1 regenerates the framework with option O16 (worker
+    processes): the Server becomes a process supervisor forking N
+    worker interpreters, each running its own (possibly O14-sharded)
+    reactor on a shared ``SO_REUSEPORT`` listen socket, with crash
+    respawn and zero-downtime rolling restart.  Hooks must then be
+    importable by module path — they are re-created inside each
+    worker — so pass a module-level hooks class (or none).
 
     ``write_path="zerocopy"`` regenerates with option O15: pooled
     header buffers, cached bodies as memoryview segments, and a
@@ -318,6 +327,8 @@ def build_cops_http(
     option_dict = dict(options or COPS_HTTP_OPTIONS)
     if shards != 1:
         option_dict["O14"] = shards
+    if procs != 1:
+        option_dict["O16"] = procs
     if write_path != "buffered":
         option_dict["O15"] = write_path
     if degradation:
@@ -352,6 +363,10 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=1,
                         choices=(1, 2, 4, 8),
                         help="reactor shards (template option O14)")
+    parser.add_argument("--procs", type=int, default=1,
+                        choices=(1, 2, 4, 8),
+                        help="worker processes (template option O16); "
+                             "SIGHUP rolls them with zero downtime")
     parser.add_argument("--policy", default="round-robin",
                         choices=("round-robin", "least-connections",
                                  "connection-hash"),
@@ -372,11 +387,18 @@ def main(argv=None) -> int:
     overrides = {"shard_policy": args.policy} if args.shards != 1 else {}
     server, _fw, _report = build_cops_http(
         args.root, options=option_dict, host=args.host, port=args.port,
-        shards=args.shards, write_path=args.write_path,
+        shards=args.shards, procs=args.procs,
+        write_path=args.write_path,
         degradation=args.degradation, poller=args.poller, **overrides)
     server.start()
+    if args.procs != 1:
+        # Operator signal plane: SIGHUP = rolling restart, SIGTERM =
+        # drain and stop, SIGUSR2 = flight-recorder dumps per worker.
+        server.deployment.install_signals()
     shape = (f"{args.shards} shards ({args.policy})"
              if args.shards != 1 else "single reactor")
+    if args.procs != 1:
+        shape += f", {args.procs} worker processes"
     if args.write_path != "buffered":
         shape += f", {args.write_path} write path"
     if args.degradation:
@@ -388,6 +410,11 @@ def main(argv=None) -> int:
     try:
         while True:
             time.sleep(1.0)
+            # A SIGTERM drain runs on its own thread; leave the
+            # foreground loop once it has stopped the deployment.
+            if (args.procs != 1
+                    and not server.deployment.supervisor.running):
+                break
     except KeyboardInterrupt:
         server.stop()
     return 0

@@ -24,6 +24,7 @@ from repro.co2p3s.nserver import (
     COPS_HTTP_SHARDED_OPTIONS,
     COPS_HTTP_ZEROCOPY_OPTIONS,
     DEGRADATION_TOGGLE_BASE,
+    DEPLOYMENT_TOGGLE_BASE,
     EXPECTED_TABLE2,
     NSERVER,
     PAPER_TABLE2,
@@ -37,13 +38,12 @@ from repro.co2p3s.nserver import (
 # -- Table 1: the option model -------------------------------------------------
 
 
-def test_seventeen_options():
+def test_eighteen_options():
     # The paper's twelve plus the O13 fault-tolerance, O14
-    # reactor-shards, O15 write-path, O17 degradation and O18 poller
-    # extensions (there is no O16).
+    # reactor-shards, O15 write-path, O16 deployment, O17 degradation
+    # and O18 poller extensions.
     specs = NSERVER.option_specs()
-    assert [s.key for s in specs] == \
-        [f"O{i}" for i in range(1, 16)] + ["O17", "O18"]
+    assert [s.key for s in specs] == [f"O{i}" for i in range(1, 19)]
 
 
 def test_paper_configurations_are_legal():
@@ -52,7 +52,7 @@ def test_paper_configurations_are_legal():
                    COPS_HTTP_RESILIENCE_OPTIONS, COPS_HTTP_SHARDED_OPTIONS,
                    COPS_HTTP_ZEROCOPY_OPTIONS, COPS_HTTP_DEGRADATION_OPTIONS,
                    ALL_FEATURES_ON, POOL_TOGGLE_BASE,
-                   DEGRADATION_TOGGLE_BASE):
+                   DEGRADATION_TOGGLE_BASE, DEPLOYMENT_TOGGLE_BASE):
         opts = NSERVER.configure(config)
         NSERVER.validate(opts)
 
@@ -75,7 +75,7 @@ def test_cops_http_column_matches_table1():
 
 def test_option_table_rows_shape():
     rows = option_table_rows(COPS_FTP_OPTIONS, COPS_HTTP_OPTIONS)
-    assert len(rows) == 17
+    assert len(rows) == 18
     assert all(len(r) == 4 for r in rows)
     o6 = next(r for r in rows if r[0].startswith("O6"))
     assert o6[2] == "No" and o6[3] == "Yes: LRU"
@@ -113,12 +113,13 @@ def test_all_files_parse_for_paper_configs():
             ast.parse(text)
 
 
-def test_full_config_generates_all_33_classes():
+def test_full_config_generates_all_35_classes():
     report = render(ALL_FEATURES_ON)
     assert set(report.class_names()) == set(TABLE2_CLASS_ORDER)
     # paper's 27 + Observability (O11) + Resilience (O13) + Sharding (O14)
     # + Buffers (O15) + Degradation (O17) + Poller (O18)
-    assert len(TABLE2_CLASS_ORDER) == 33
+    # + Deployment + Worker (O16)
+    assert len(TABLE2_CLASS_ORDER) == 35
 
 
 def test_optional_classes_absent_when_options_off():
@@ -507,7 +508,8 @@ def expected_matrix():
 def test_empirical_crosscut_reproduces_paper_table2():
     emp = empirical_matrix(NSERVER, ALL_FEATURES_ON,
                            extra_bases=(POOL_TOGGLE_BASE,
-                                        DEGRADATION_TOGGLE_BASE))
+                                        DEGRADATION_TOGGLE_BASE,
+                                        DEPLOYMENT_TOGGLE_BASE))
     diffs = emp.differences(expected_matrix())
     assert diffs == []
     # The only cells beyond the paper's table are the declared
@@ -523,7 +525,8 @@ def test_empirical_crosscut_reproduces_paper_table2():
 def test_declared_metadata_matches_empirical():
     emp = empirical_matrix(NSERVER, ALL_FEATURES_ON,
                            extra_bases=(POOL_TOGGLE_BASE,
-                                        DEGRADATION_TOGGLE_BASE))
+                                        DEGRADATION_TOGGLE_BASE,
+                                        DEPLOYMENT_TOGGLE_BASE))
     dec = declared_matrix(NSERVER, ALL_FEATURES_ON)
     assert emp.differences(dec) == []
 

@@ -51,8 +51,15 @@ def test_quick_fig3_poller(capsys):
     assert "O18 extension" in out and "SELECT vs EPOLL" in out
 
 
+def test_quick_fig3_procs(capsys):
+    assert main(["fig3-procs", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "O16 extension" in out and "WORKER PROCESSES" in out
+
+
 def test_all_is_every_experiment():
     assert set(EXPERIMENTS) == {"table1", "table2", "table3", "table4",
                                 "fig3", "fig4", "fig5", "fig6",
                                 "fig3-shards", "fig3-zerocopy",
-                                "fig6-cliff", "fig3-poller"}
+                                "fig6-cliff", "fig3-poller",
+                                "fig3-procs"}

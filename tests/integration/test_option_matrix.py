@@ -124,6 +124,55 @@ def test_option_combination_serves_correctly(name, tmp_path):
     assert fw.GENERATED_OPTIONS == opts.as_dict()
 
 
+def test_o16_multiproc_corner_serves_correctly(tmp_path):
+    """O16=2: the generated Server forks two worker processes that
+    accept on one shared SO_REUSEPORT socket.  Hooks must be importable
+    (they cross the process boundary by module path), so this corner
+    uses the time server's instead of the module-local ones."""
+    from repro.servers.time_server import TimeServerHooks
+
+    config = dict(BASE, O3=False, O16=2)
+    opts = NSERVER.configure(config)
+    NSERVER.validate(opts)
+    NSERVER.generate(opts, str(tmp_path), package="matrix_procs_fw")
+    fw = load_generated_package(str(tmp_path), "matrix_procs_fw")
+    server = fw.Server(TimeServerHooks(),
+                       configuration=fw.ServerConfiguration())
+    server.start()
+    try:
+        for _ in range(4):  # REUSEPORT spreads these across workers
+            s = socket.create_connection(("127.0.0.1", server.port),
+                                         timeout=10)
+            s.settimeout(10)
+            try:
+                s.sendall(b"what time is it\n")
+                buf = b""
+                while not buf.endswith(b"\n"):
+                    buf += s.recv(4096)
+                assert buf.decode("ascii")[4] == "-"  # YYYY-MM-DD ...
+            finally:
+                s.close()
+    finally:
+        server.stop()
+
+
+def test_o16_default_emits_zero_deployment_code(tmp_path):
+    """O16=1 builds carry no trace of the multi-process plane — not a
+    file, not a word (the no-dead-code property again)."""
+    opts = NSERVER.configure(BASE)
+    report = NSERVER.generate(opts, str(tmp_path), package="matrix_one_fw")
+    assert "deployment.py" not in report.files
+    for name in report.files:
+        if name == "__init__.py":
+            continue  # GENERATED_OPTIONS records 'O16': 1
+        text = (tmp_path / "matrix_one_fw" / name).read_text()
+        for forbidden in ("Deployment", "supervisor", "respawn",
+                          "rolling_restart", "worker_listen",
+                          "cluster_status", "REUSEPORT", "multi-process"):
+            assert forbidden not in text, \
+                f"{forbidden!r} leaked into O16=1 {name}"
+
+
 def test_o14_default_emits_zero_sharding_code(tmp_path):
     """O14=1 builds carry no trace of sharding — not a file, not a
     word (the generative pattern's no-dead-code property)."""

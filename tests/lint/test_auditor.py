@@ -33,6 +33,7 @@ CORNERS = (
     "all-features-on",
     "pool-toggle-base",
     "degradation-toggle-base",
+    "deployment-toggle-base",
 )
 
 
@@ -43,14 +44,14 @@ def test_option_matrix_corners_audit_clean():
 
 
 def test_suite_exercises_every_option_value():
-    # all 17 options, each through its full legal value set
+    # all 18 options, each through its full legal value set
     base = NSERVER.configure(ALL_FEATURES_ON)
     seen = {spec.key: set() for spec in base.specs}
     for _label, options in suite_configs():
         resolved = NSERVER.configure(options)
         for spec in base.specs:
             seen[spec.key].add(resolved[spec.key])
-    assert len(seen) == 17
+    assert len(seen) == 18
     for spec in base.specs:
         assert seen[spec.key] == set(spec.values), spec.key
 
@@ -163,6 +164,32 @@ def test_o17_purity_ignores_resilience_prose():
         '"""Quarantine sheds the poisoned event after retries."""\n')})
     assert not any("o17-purity" in f.ident
                    for f in audit_report(report, "stub", options=options))
+
+
+def test_o16_single_process_build_with_deployment_residue_is_flagged():
+    options = {"O11": True, "O16": 1}
+    report = _StubReport({"mod.py": "x = rt.cluster_status_fields()\n"})
+    idents = [f.ident for f in audit_report(report, "stub",
+                                            options=options)]
+    assert "audit:o16-purity:mod.py" in idents
+    # The generation-options record is exempt, as with O11/O17.
+    report = _StubReport({"__init__.py": "GENERATED_OPTIONS = "
+                                         "{'O16': 1}\n"
+                                         "x = respawn_limit\n"})
+    assert not any("o16-purity" in f.ident
+                   for f in audit_report(report, "stub", options=options))
+
+
+def test_o16_multiproc_build_is_not_purity_scanned():
+    report = _StubReport({"mod.py": "x = rt.ProcessSupervisor\n"})
+    assert not any(
+        "o16-purity" in f.ident
+        for f in audit_report(report, "stub",
+                              options={"O11": True, "O16": 2}))
+    # Stub options without an O16 key (older callers): no purity scan.
+    assert not any(
+        "o16-purity" in f.ident
+        for f in audit_report(report, "stub", options={"O11": True}))
 
 
 def test_crosscut_three_way_agreement():

@@ -53,7 +53,7 @@ def test_docstring_gate_exit_codes(tmp_path):
 
 
 def test_full_check_shipped_tree_exits_zero(capsys):
-    # the CI gate end to end: blocking lint + 15-option audit sweep +
+    # the CI gate end to end: blocking lint + 18-option audit sweep +
     # crosscut three-way check + docstring ratchet, all clean
     assert main([]) == 0
     out = capsys.readouterr().out
